@@ -1,0 +1,68 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce <experiment> [--quick] [--json]
+//!   experiments: fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
+//!                fig16 table1 claims timeline all
+//! ```
+//!
+//! `--quick` runs scaled-down configurations (seconds instead of
+//! minutes); `--json` emits machine-readable rows (used to build
+//! EXPERIMENTS.md).
+
+use stellar_bench as b;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let all = which == "all";
+    let mut ran = false;
+
+    macro_rules! exp {
+        ($name:literal, $module:ident) => {
+            if all || which == $name {
+                ran = true;
+                let rows = b::$module::run(quick);
+                if json {
+                    println!(
+                        "{{\"experiment\":\"{}\",\"rows\":{}}}",
+                        $name,
+                        serde_json::to_string(&rows).expect("serializable rows")
+                    );
+                } else {
+                    b::$module::print(&rows);
+                    println!();
+                }
+            }
+        };
+    }
+
+    exp!("fig6", fig06_startup);
+    exp!("fig8", fig08_atc);
+    exp!("fig9", fig09_permutation);
+    exp!("fig10", fig10_background);
+    exp!("fig11", fig11_failures);
+    exp!("fig12", fig12_imbalance);
+    exp!("fig13", fig13_micro);
+    exp!("fig14", fig14_gdr);
+    exp!("fig15", fig15_virt);
+    exp!("fig16", fig16_llm);
+    exp!("table1", table1_comm);
+    exp!("claims", claims);
+    exp!("timeline", timeline);
+
+    if !ran {
+        eprintln!(
+            "unknown experiment '{which}'; expected one of: fig6 fig8 fig9 fig10 \
+             fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline all"
+        );
+        std::process::exit(2);
+    }
+}

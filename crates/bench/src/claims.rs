@@ -1,0 +1,102 @@
+//! Section-4 headline claims: virtual-device scalability and timing.
+//!
+//! * up to 64 k vStellar devices per RNIC, each in ~1.5 s, sharing the
+//!   PF's BDF (no switch-LUT pressure);
+//! * SR-IOV VFs: static count, 2.4 GB each, one BDF each, capped by the
+//!   32-entry switch LUT;
+//! * container initialization 15× faster (covered in depth by Fig. 6).
+
+use serde::{Deserialize, Serialize};
+use stellar_core::vstellar::VStellarStack;
+use stellar_core::{RnicId, ServerConfig, StellarServer};
+use stellar_virt::rund::MemoryStrategy;
+
+/// One claim check.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Claim label.
+    pub claim: &'static str,
+    /// Measured value (unit in the label).
+    pub measured: f64,
+    /// Paper value.
+    pub paper: f64,
+}
+
+/// Evaluate the claims.
+pub fn run(quick: bool) -> Vec<Row> {
+    let mut server = StellarServer::new(ServerConfig::default());
+    let (c, _) = server.boot_container(1 << 30, MemoryStrategy::Pvdma);
+    let stack = VStellarStack::new();
+
+    // vStellar device creation time.
+    let (dev, t) = stack
+        .create_device(&mut server, c, RnicId(0))
+        .expect("create");
+    stack.destroy_device(&mut server, dev).expect("destroy");
+
+    // Device count scalability (memory-bounded only; quick mode creates
+    // fewer to keep the run snappy).
+    let n = if quick { 1_000 } else { 16_384 };
+    for _ in 0..n {
+        stack
+            .create_device(&mut server, c, RnicId(1))
+            .expect("create many");
+    }
+    let created = server.rnic(RnicId(1)).vdevs.counts().2 as f64;
+    let max_devices = server.rnic(RnicId(1)).vdevs.config().max_vstellar as f64;
+    let extra_bdfs = server.rnic(RnicId(1)).vdevs.extra_bdfs() as f64;
+    let vf_mem_gb = server.rnic(RnicId(0)).vdevs.config().vf_memory_bytes as f64 / 1e9;
+
+    vec![
+        Row {
+            claim: "vStellar device creation time (s)",
+            measured: t.as_secs_f64(),
+            paper: 1.5,
+        },
+        Row {
+            claim: "vStellar devices supported per RNIC",
+            measured: max_devices,
+            paper: 65_536.0,
+        },
+        Row {
+            claim: "devices actually created in this run",
+            measured: created,
+            paper: n as f64,
+        },
+        Row {
+            claim: "extra PCIe BDFs consumed by vStellar devices",
+            measured: extra_bdfs,
+            paper: 0.0,
+        },
+        Row {
+            claim: "memory per SR-IOV VF (GB)",
+            measured: vf_mem_gb,
+            paper: 2.4,
+        },
+    ]
+}
+
+/// Print the claims table.
+pub fn print(rows: &[Row]) {
+    println!("Section 4 claims — measured vs paper");
+    println!("{:>44} {:>12} {:>10}", "claim", "measured", "paper");
+    for r in rows {
+        println!("{:>44} {:>12.2} {:>10.2}", r.claim, r.measured, r.paper);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let rows = run(true);
+        let get = |claim: &str| rows.iter().find(|r| r.claim.contains(claim)).unwrap();
+        let t = get("creation time");
+        assert!((1.4..2.0).contains(&t.measured), "t={}", t.measured);
+        assert_eq!(get("supported per RNIC").measured, 65_536.0);
+        assert_eq!(get("extra PCIe BDFs").measured, 0.0);
+        assert_eq!(get("memory per SR-IOV").measured, 2.4);
+    }
+}

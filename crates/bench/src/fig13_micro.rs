@@ -1,0 +1,94 @@
+//! Fig. 13 — `perftest` microbenchmarks: RDMA write latency (a) and
+//! throughput (b) across message sizes, for vStellar vs bare-metal
+//! Stellar vs the VF+VxLAN CX7 baseline.
+
+use serde::{Deserialize, Serialize};
+use stellar_core::perftest::{perftest_point, StackKind};
+
+/// One x-position of Fig. 13 for one stack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Stack name.
+    pub stack: &'static str,
+    /// Message size.
+    pub msg_bytes: u64,
+    /// One-way latency, µs.
+    pub latency_us: f64,
+    /// Throughput, Gbps.
+    pub gbps: f64,
+}
+
+/// Message sizes swept (2 B → 8 MB in powers of two, thinned for speed).
+pub fn sizes(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![8, 4096, 65_536, 1 << 20, 8 << 20]
+    } else {
+        (1..=23).map(|p| 1u64 << p).collect()
+    }
+}
+
+/// Run the sweep for the three stacks of the figure.
+pub fn run(quick: bool) -> Vec<Row> {
+    let stacks = [
+        ("bare-metal", StackKind::BareMetal),
+        ("vStellar", StackKind::VStellar),
+        ("VF+VxLAN", StackKind::VfVxlan),
+    ];
+    let mut rows = Vec::new();
+    for &(name, kind) in &stacks {
+        for &size in &sizes(quick) {
+            let p = perftest_point(kind, size);
+            rows.push(Row {
+                stack: name,
+                msg_bytes: size,
+                latency_us: p.latency.as_nanos() as f64 / 1000.0,
+                gbps: p.gbps,
+            });
+        }
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(rows: &[Row]) {
+    println!("Fig. 13 — RDMA write microbenchmarks");
+    println!(
+        "{:>12} {:>10} {:>12} {:>10}",
+        "stack", "msg bytes", "latency us", "Gbps"
+    );
+    for r in rows {
+        println!(
+            "{:>12} {:>10} {:>12.2} {:>10.1}",
+            r.stack, r.msg_bytes, r.latency_us, r.gbps
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_shape() {
+        let rows = run(true);
+        let get = |stack: &str, size: u64| {
+            rows.iter()
+                .find(|r| r.stack == stack && r.msg_bytes == size)
+                .unwrap()
+        };
+        // vStellar ≈ bare metal at every size.
+        for &s in &sizes(true) {
+            let a = get("bare-metal", s);
+            let b = get("vStellar", s);
+            assert!((a.latency_us - b.latency_us).abs() / a.latency_us < 0.01);
+        }
+        // VF+VxLAN pays a small-message latency tax and a large-message
+        // bandwidth tax.
+        let vf8 = get("VF+VxLAN", 8);
+        let vs8 = get("vStellar", 8);
+        assert!(vf8.latency_us > vs8.latency_us);
+        let vf8m = get("VF+VxLAN", 8 << 20);
+        let vs8m = get("vStellar", 8 << 20);
+        assert!(vf8m.gbps < vs8m.gbps * 0.97);
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 14 — GDR write throughput: vStellar vs bare-metal Stellar vs
+//! HyV/MasQ.
+//!
+//! Paper: HyV/MasQ tops out at 141 Gbps (~36% of vStellar's 393 Gbps)
+//! because its GDR traffic detours through the PCIe Root Complex;
+//! vStellar and bare-metal Stellar coincide.
+
+use serde::{Deserialize, Serialize};
+use stellar_core::perftest::{perftest_point, StackKind};
+
+/// One x-position of Fig. 14 for one stack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Stack name.
+    pub stack: &'static str,
+    /// Message size.
+    pub msg_bytes: u64,
+    /// GDR write throughput, Gbps.
+    pub gbps: f64,
+}
+
+/// Sizes swept.
+pub fn sizes(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1 << 20, 8 << 20, 32 << 20]
+    } else {
+        (16..=26).map(|p| 1u64 << p).collect()
+    }
+}
+
+/// Run the figure.
+pub fn run(quick: bool) -> Vec<Row> {
+    let stacks = [
+        ("bare-metal", StackKind::BareMetal),
+        ("vStellar", StackKind::VStellar),
+        ("HyV/MasQ", StackKind::HyvMasq),
+    ];
+    let mut rows = Vec::new();
+    for &(name, kind) in &stacks {
+        for &size in &sizes(quick) {
+            rows.push(Row {
+                stack: name,
+                msg_bytes: size,
+                gbps: perftest_point(kind, size).gbps,
+            });
+        }
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(rows: &[Row]) {
+    println!("Fig. 14 — GDR write throughput (Gbps)");
+    println!("{:>12} {:>12} {:>10}", "stack", "msg bytes", "Gbps");
+    for r in rows {
+        println!("{:>12} {:>12} {:>10.1}", r.stack, r.msg_bytes, r.gbps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_shape() {
+        let rows = run(true);
+        let max_of = |stack: &str| {
+            rows.iter()
+                .filter(|r| r.stack == stack)
+                .map(|r| r.gbps)
+                .fold(f64::MIN, f64::max)
+        };
+        let vs = max_of("vStellar");
+        let bare = max_of("bare-metal");
+        let hyv = max_of("HyV/MasQ");
+        // vStellar ≈ bare metal near 393 Gbps.
+        assert!((vs - bare).abs() / bare < 0.02);
+        assert!(vs > 350.0, "vStellar={vs}");
+        // HyV/MasQ around 1/3 of vStellar (paper: 141 vs 393 ≈ 36%).
+        let ratio = hyv / vs;
+        assert!((0.25..0.48).contains(&ratio), "ratio={ratio}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Table 1 — parallel strategy and communication ratio of typical models.
+//!
+//! Paper values for comparison (measured in Alibaba production):
+//!
+//! | Job | TP | DP | PP |
+//! |-----|----|----|----|
+//! | Megatron Llama-33B | 4.57% | 20.95% | 2.65% |
+//! | Megatron GPT-200B | 10.88% | 1.49% | 20.14% |
+//! | DeepSpeed-Zero1 Llama-2B | — | 17.3% | — |
+//! | DeepSpeed-Zero3 Llama-13B | — | 10.5% | — |
+
+use serde::{Deserialize, Serialize};
+use stellar_workloads::llm::{comm_ratios, LlmJobConfig};
+
+/// One row of Table 1, measured and paper-reported.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Job name.
+    pub name: &'static str,
+    /// Parallel parameters "(tp,pp,dp,mb,ga,gb)".
+    pub parameters: String,
+    /// Measured TP ratio (percent), if applicable.
+    pub tp_pct: Option<f64>,
+    /// Measured DP ratio (percent).
+    pub dp_pct: f64,
+    /// Measured PP ratio (percent), if applicable.
+    pub pp_pct: Option<f64>,
+    /// Paper-reported `(tp, dp, pp)` percentages.
+    pub paper: (Option<f64>, f64, Option<f64>),
+}
+
+/// Paper-reported ratios per row.
+fn paper_values(name: &str) -> (Option<f64>, f64, Option<f64>) {
+    match name {
+        "Megatron Llama-33B" => (Some(4.57), 20.95, Some(2.65)),
+        "Megatron GPT-200B" => (Some(10.88), 1.49, Some(20.14)),
+        "DeepSpeed-Zero1 Llama-2B" => (None, 17.3, None),
+        "DeepSpeed-Zero3 Llama-13B" => (None, 10.5, None),
+        _ => unreachable!("unknown Table 1 row"),
+    }
+}
+
+/// Compute all four rows.
+pub fn run(_quick: bool) -> Vec<Row> {
+    LlmJobConfig::table1()
+        .iter()
+        .map(|job| {
+            let r = comm_ratios(job);
+            Row {
+                name: job.name,
+                parameters: format!(
+                    "({},{},{},{},{},{})",
+                    job.tp, job.pp, job.dp, job.micro_batch, job.grad_accum, job.global_batch
+                ),
+                tp_pct: r.tp_ratio.map(|v| v * 100.0),
+                dp_pct: r.dp_ratio * 100.0,
+                pp_pct: r.pp_ratio.map(|v| v * 100.0),
+                paper: paper_values(job.name),
+            }
+        })
+        .collect()
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "N/A".to_string(), |x| format!("{x:.2}%"))
+}
+
+/// Print the table with paper values side by side.
+pub fn print(rows: &[Row]) {
+    println!("Table 1 — communication ratios (measured | paper)");
+    println!(
+        "{:>26} {:>22} {:>16} {:>16} {:>16}",
+        "job", "params(tp,pp,dp,mb,ga,gb)", "TP", "DP", "PP"
+    );
+    for r in rows {
+        println!(
+            "{:>26} {:>22} {:>7}|{:>7} {:>7}|{:>7} {:>7}|{:>7}",
+            r.name,
+            r.parameters,
+            fmt_opt(r.tp_pct),
+            fmt_opt(r.paper.0),
+            format!("{:.2}%", r.dp_pct),
+            format!("{:.2}%", r.paper.1),
+            fmt_opt(r.pp_pct),
+            fmt_opt(r.paper.2),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_orderings_match_paper() {
+        let rows = run(true);
+        // Llama-33B: DP dominates.
+        let llama = &rows[0];
+        assert!(llama.dp_pct > llama.tp_pct.unwrap());
+        assert!(llama.dp_pct > llama.pp_pct.unwrap());
+        // GPT-200B: PP > TP > DP.
+        let gpt = &rows[1];
+        assert!(gpt.pp_pct.unwrap() > gpt.tp_pct.unwrap());
+        assert!(gpt.tp_pct.unwrap() > gpt.dp_pct);
+        // DeepSpeed rows: DP only.
+        assert!(rows[2].tp_pct.is_none() && rows[2].pp_pct.is_none());
+        assert!(rows[3].tp_pct.is_none() && rows[3].pp_pct.is_none());
+    }
+
+    #[test]
+    fn table1_values_within_2x_of_paper() {
+        for r in run(true) {
+            let close = |measured: f64, paper: f64| {
+                measured / paper < 2.5 && paper / measured < 2.5
+            };
+            assert!(
+                close(r.dp_pct, r.paper.1),
+                "{}: DP {} vs paper {}",
+                r.name,
+                r.dp_pct,
+                r.paper.1
+            );
+            if let (Some(m), Some(p)) = (r.tp_pct, r.paper.0) {
+                assert!(close(m, p), "{}: TP {m} vs paper {p}", r.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The `reproduce --json` output must stay machine-readable: every
+//! experiment's rows serialize to valid JSON with the expected fields.
+
+use stellar_bench as b;
+
+fn to_json<T: serde::Serialize>(rows: &[T]) -> Vec<serde_json::Value> {
+    let json = serde_json::to_string(rows).expect("serialize");
+    serde_json::from_str(&json).expect("valid JSON array")
+}
+
+#[test]
+fn fig6_rows_serialize_with_fields() {
+    let rows = b::fig06_startup::run(true);
+    let vals = to_json(&rows);
+    assert_eq!(vals.len(), rows.len());
+    assert!(vals[0].get("memory_gib").is_some());
+    assert!(vals[0].get("speedup").is_some());
+}
+
+#[test]
+fn table1_rows_serialize_with_fields() {
+    let rows = b::table1_comm::run(true);
+    let vals = to_json(&rows);
+    assert_eq!(vals.len(), 4);
+    assert!(vals[0].get("dp_pct").is_some());
+    assert!(vals[0].get("paper").is_some());
+}
+
+#[test]
+fn fig13_rows_serialize_with_fields() {
+    let rows = b::fig13_micro::run(true);
+    let vals = to_json(&rows);
+    assert!(!vals.is_empty());
+    assert!(vals[0].get("latency_us").is_some());
+    assert!(vals[0].get("gbps").is_some());
+}
+
+#[test]
+fn claims_rows_serialize_with_fields() {
+    let rows = b::claims::run(true);
+    let vals = to_json(&rows);
+    assert!(!vals.is_empty());
+    assert!(vals[0].get("measured").is_some());
+    assert!(vals[0].get("paper").is_some());
+}

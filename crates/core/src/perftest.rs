@@ -1,0 +1,190 @@
+//! The `perftest`-style microbenchmark harness behind Figs. 13 and 14.
+//!
+//! Latency and bandwidth of an RDMA write between two directly-connected
+//! servers, per stack:
+//!
+//! * **Bare-metal Stellar** — the eMTT data path with no virtualization.
+//! * **vStellar** — same data path inside a RunD secure container (the
+//!   whole point of Fig. 13: the curves coincide).
+//! * **VF + VxLAN (CX7)** — ATS/ATC translations plus VxLAN encap: ~7%
+//!   extra latency on small messages, ~9% bandwidth loss on large ones.
+//! * **HyV/MasQ** — GDR unoptimized, Root-Complex-bound (~36% of
+//!   vStellar's GDR throughput in Fig. 14).
+
+use serde::{Deserialize, Serialize};
+use stellar_pcie::addr::Gva;
+use stellar_sim::SimDuration;
+use stellar_virt::rund::MemoryStrategy;
+
+use crate::baseline::{BaselineKind, BaselineStack};
+use crate::server::{RnicId, ServerConfig, StellarServer};
+use crate::vstellar::VStellarStack;
+
+/// The stacks Fig. 13/14 compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackKind {
+    /// Stellar on bare metal (regular container).
+    BareMetal,
+    /// Stellar in a RunD secure container (vStellar).
+    VStellar,
+    /// SR-IOV VF + VxLAN on a CX7-style RNIC.
+    VfVxlan,
+    /// HyV/MasQ-style para-virtualization.
+    HyvMasq,
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PerftestPoint {
+    /// Message size in bytes.
+    pub msg_bytes: u64,
+    /// One-way small-message latency.
+    pub latency: SimDuration,
+    /// Achieved throughput in Gbps.
+    pub gbps: f64,
+}
+
+/// Fixed network flight time between the two directly-attached servers
+/// (NIC→ToR→NIC plus cabling), matching the testbed's ~1.6 µs base RTT/2.
+const NET_FLIGHT: SimDuration = SimDuration::from_micros(2);
+
+const MB: u64 = 1024 * 1024;
+/// Region size used for bandwidth runs (large enough to exceed the ATC
+/// on the thrash-prone stacks when swept repeatedly).
+const REGION: u64 = 64 * MB;
+
+/// Measure a single `(latency, gbps)` point for `kind` at `msg_bytes`,
+/// targeting GPU memory (GDR), as the paper's microbenchmarks do.
+pub fn perftest_point(kind: StackKind, msg_bytes: u64) -> PerftestPoint {
+    let msg = msg_bytes.max(1);
+    match kind {
+        StackKind::BareMetal | StackKind::VStellar => {
+            let mut server = StellarServer::new(ServerConfig::default());
+            let (c, _) = server.boot_container(256 * MB, MemoryStrategy::Pvdma);
+            let stack = VStellarStack::new();
+            let (dev, _) = stack
+                .create_device(&mut server, c, RnicId(0))
+                .expect("device");
+            let gpu = server.gpus_under(RnicId(0))[0];
+            let (mr, _) = stack
+                .register_mr_gpu(&mut server, &dev, Gva(1 << 30), gpu, 0, REGION)
+                .expect("mr");
+            let (qp, _) = stack.create_qp(&mut server, &dev).expect("qp");
+            // perftest iterates; measure a warm pass.
+            stack
+                .write(&mut server, &dev, qp, mr, Gva(1 << 30), msg.min(REGION))
+                .expect("warm-up write");
+            let rep = stack
+                .write(&mut server, &dev, qp, mr, Gva(1 << 30), msg.min(REGION))
+                .expect("write");
+            PerftestPoint {
+                msg_bytes: msg,
+                latency: rep.first_page_latency + NET_FLIGHT,
+                gbps: rep.gbps,
+            }
+        }
+        StackKind::VfVxlan | StackKind::HyvMasq => {
+            let mut server = StellarServer::new(ServerConfig::default());
+            let (c, _) = server.boot_container(64 * MB, MemoryStrategy::FullPin);
+            let bk = if kind == StackKind::VfVxlan {
+                BaselineKind::VfVxlan
+            } else {
+                BaselineKind::HyvMasq
+            };
+            if bk == BaselineKind::VfVxlan {
+                server
+                    .rnic_mut(RnicId(0))
+                    .vdevs
+                    .set_vf_count(8)
+                    .expect("vf pool");
+            }
+            let mut stack = BaselineStack::new(bk);
+            let dev = stack
+                .attach_device(&mut server, c, RnicId(0))
+                .expect("attach");
+            let gpu = server.gpus_under(RnicId(0))[0];
+            let (mr, _) = stack
+                .register_mr_gpu(&mut server, &dev, Gva(1 << 30), gpu, 0, REGION)
+                .expect("mr");
+            // perftest iterates; measure a warm pass (the ATC holds the
+            // working set at these sizes — the cold cliff is Fig. 8's
+            // sweep, not Fig. 13's point measurements).
+            stack
+                .write(&mut server, &dev, mr, Gva(1 << 30), msg.min(REGION))
+                .expect("warm-up write");
+            let rep = stack
+                .write(&mut server, &dev, mr, Gva(1 << 30), msg.min(REGION))
+                .expect("write");
+            PerftestPoint {
+                msg_bytes: msg,
+                latency: rep.first_page_latency + NET_FLIGHT,
+                gbps: rep.gbps,
+            }
+        }
+    }
+}
+
+/// Latency of one write of `msg_bytes` (Fig. 13a).
+pub fn perftest_latency(kind: StackKind, msg_bytes: u64) -> SimDuration {
+    perftest_point(kind, msg_bytes).latency
+}
+
+/// Achieved throughput at `msg_bytes` (Fig. 13b / Fig. 14).
+pub fn perftest_bandwidth(kind: StackKind, msg_bytes: u64) -> f64 {
+    perftest_point(kind, msg_bytes).gbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vstellar_matches_bare_metal() {
+        for size in [8u64, 4096, MB, 8 * MB] {
+            let a = perftest_point(StackKind::BareMetal, size);
+            let b = perftest_point(StackKind::VStellar, size);
+            // Fig. 13: "almost identical".
+            let dl = (a.latency.as_nanos() as f64 - b.latency.as_nanos() as f64).abs()
+                / a.latency.as_nanos() as f64;
+            assert!(dl < 0.01, "latency diverges at {size}: {dl}");
+            let dg = (a.gbps - b.gbps).abs() / a.gbps.max(1e-9);
+            assert!(dg < 0.01, "bandwidth diverges at {size}: {dg}");
+        }
+    }
+
+    #[test]
+    fn vf_vxlan_adds_small_message_latency() {
+        let stellar = perftest_latency(StackKind::VStellar, 8);
+        let vf = perftest_latency(StackKind::VfVxlan, 8);
+        let overhead = vf.as_nanos() as f64 / stellar.as_nanos() as f64 - 1.0;
+        // Paper: ~7% for 8 B packets. Accept 2–15%.
+        assert!((0.02..0.15).contains(&overhead), "overhead={overhead}");
+    }
+
+    #[test]
+    fn vf_vxlan_loses_large_message_bandwidth() {
+        let stellar = perftest_bandwidth(StackKind::VStellar, 8 * MB);
+        let vf = perftest_bandwidth(StackKind::VfVxlan, 8 * MB);
+        let loss = 1.0 - vf / stellar;
+        // Paper: ~9% loss at 8 MB. Accept 4–20%.
+        assert!((0.04..0.20).contains(&loss), "loss={loss}");
+    }
+
+    #[test]
+    fn hyv_masq_gdr_is_about_a_third_of_vstellar() {
+        let stellar = perftest_bandwidth(StackKind::VStellar, 32 * MB);
+        let hyv = perftest_bandwidth(StackKind::HyvMasq, 32 * MB);
+        let ratio = hyv / stellar;
+        // Paper: 141/393 ≈ 0.36.
+        assert!((0.25..0.48).contains(&ratio), "ratio={ratio}");
+        assert!(stellar > 350.0, "stellar={stellar}");
+        assert!((110.0..170.0).contains(&hyv), "hyv={hyv}");
+    }
+
+    #[test]
+    fn latency_grows_with_message_size() {
+        let small = perftest_latency(StackKind::VStellar, 8);
+        let large = perftest_latency(StackKind::VStellar, MB);
+        assert!(large > small);
+    }
+}

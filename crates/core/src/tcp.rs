@@ -1,0 +1,100 @@
+//! The non-RDMA (TCP) path and its virtualization trade-offs.
+//!
+//! Stellar hands all non-RDMA traffic to `virtio-net` backed by a PCIe
+//! Scalable Function with VxLAN tunneling (§4): "the virtio/SF/VxLAN
+//! solution incurs a performance penalty of approximately 5% compared to
+//! the vfio/VF/VxLAN approach", acceptable because TCP carries control
+//! messages only.
+//!
+//! The model also covers Problem ④: on the troubled server generation,
+//! guaranteeing GDR required ATS enabled with `iommu=nopt`, which forced
+//! the host kernel's TCP stack to DMA through the RNIC's I/O virtual
+//! addresses — a measurable host-TCP throughput penalty.
+
+use serde::{Deserialize, Serialize};
+use stellar_pcie::iommu::IommuMode;
+
+/// How TCP reaches the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TcpPath {
+    /// Legacy: the VF passed through with VFIO (kernel drives it
+    /// directly).
+    VfVxlan,
+    /// Stellar: virtio-net + vDPA over a Scalable Function + VxLAN.
+    SfVirtioVxlan,
+}
+
+/// TCP data-path model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcpModel {
+    /// Kernel TCP throughput on the bare device, Gbps.
+    pub base_gbps: f64,
+    /// Relative cost of the virtio/SF indirection (§4: ~5%).
+    pub virtio_sf_penalty: f64,
+    /// Relative cost of `iommu=nopt` host-TCP DMA remapping (Problem ④:
+    /// "creating a performance bottleneck").
+    pub nopt_host_penalty: f64,
+}
+
+impl Default for TcpModel {
+    fn default() -> Self {
+        TcpModel {
+            base_gbps: 90.0,
+            virtio_sf_penalty: 0.05,
+            nopt_host_penalty: 0.22,
+        }
+    }
+}
+
+impl TcpModel {
+    /// Achievable TCP throughput for `path` under the host kernel's
+    /// `iommu_mode`.
+    ///
+    /// The `nopt` penalty applies to host-kernel-driven DMA (both paths
+    /// traverse the host stack), but Stellar's servers can run `pt`
+    /// because GDR no longer depends on ATS — that is the point.
+    pub fn throughput_gbps(&self, path: TcpPath, iommu_mode: IommuMode) -> f64 {
+        let mut gbps = self.base_gbps;
+        if path == TcpPath::SfVirtioVxlan {
+            gbps *= 1.0 - self.virtio_sf_penalty;
+        }
+        if iommu_mode == IommuMode::NoPassthrough {
+            gbps *= 1.0 - self.nopt_host_penalty;
+        }
+        gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_path_costs_about_five_percent() {
+        let m = TcpModel::default();
+        let vf = m.throughput_gbps(TcpPath::VfVxlan, IommuMode::Passthrough);
+        let sf = m.throughput_gbps(TcpPath::SfVirtioVxlan, IommuMode::Passthrough);
+        let penalty = 1.0 - sf / vf;
+        assert!((0.04..0.06).contains(&penalty), "penalty={penalty}");
+    }
+
+    #[test]
+    fn problem4_nopt_degrades_host_tcp() {
+        // The legacy stack had to run nopt to keep GDR working; host TCP
+        // paid for it.
+        let m = TcpModel::default();
+        let legacy = m.throughput_gbps(TcpPath::VfVxlan, IommuMode::NoPassthrough);
+        // Stellar's eMTT removes the ATS dependency, so pt is possible —
+        // the 5% virtio tax is cheaper than the nopt tax.
+        let stellar = m.throughput_gbps(TcpPath::SfVirtioVxlan, IommuMode::Passthrough);
+        assert!(stellar > legacy, "stellar={stellar} legacy={legacy}");
+    }
+
+    #[test]
+    fn worst_case_is_both_penalties() {
+        let m = TcpModel::default();
+        let worst = m.throughput_gbps(TcpPath::SfVirtioVxlan, IommuMode::NoPassthrough);
+        let best = m.throughput_gbps(TcpPath::VfVxlan, IommuMode::Passthrough);
+        assert!(worst < best * 0.8);
+    }
+}

@@ -1,0 +1,27 @@
+//! # stellar-net — packet-level datacenter fabric simulator
+//!
+//! Models the paper's HPN7.0-style dual-plane, rail-optimized Clos fabric
+//! at packet granularity:
+//!
+//! * [`topology`] — the parameterized Clos: hosts with multiple RNICs
+//!   (rails), per-plane ToR switches, a shared aggregation layer, and the
+//!   ECMP route function that maps a `(flow, path-id)` pair to a concrete
+//!   switch sequence. The transport's *path id* is an entropy knob, exactly
+//!   like the UDP source-port entropy a real multipath RNIC injects.
+//! * [`network`] — link state and packet forwarding using a **link
+//!   calendar** model: every egress port remembers when it next falls
+//!   idle, so a packet's queueing, ECN marking, tail-drop, and delivery
+//!   time are computed hop by hop in one pass. Because the transport layer
+//!   injects packets in global time order, this is an exact FIFO
+//!   simulation at a fraction of the event count of per-hop scheduling.
+//!
+//! Per-port gauges (queue depth) and counters (bytes, drops, ECN marks)
+//! feed Figures 9–12 directly.
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod topology;
+
+pub use network::{Delivery, DropReason, LinkStats, Network, NetworkConfig, TraceRecord};
+pub use topology::{ClosConfig, ClosTopology, LinkId, NicId, NodeId, NodeKind};

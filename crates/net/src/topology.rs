@@ -1,0 +1,449 @@
+//! The dual-plane, rail-optimized Clos topology (HPN7.0-style, paper ref. 27).
+//!
+//! Layout, parameterized by [`ClosConfig`]:
+//!
+//! * Each **host** carries `rails` RNICs (rail-optimized: GPU *i* of every
+//!   host talks through RNIC *i*).
+//! * Each RNIC has one port per **plane** (the paper's dual-plane design:
+//!   two ports on independent network planes joined only at the top).
+//! * Each network **segment** (pod) has one ToR per `(rail, plane)` pair;
+//!   every host in the segment connects its rail-*r*, plane-*p* port to
+//!   that ToR.
+//! * A shared **aggregation layer** of `aggs_per_plane` switches per plane
+//!   interconnects all ToRs of that plane (the paper's 60 aggregation
+//!   switches, the escape layer for cross-segment and cross-rail traffic).
+//!
+//! Routing: intra-segment, same-rail, same-plane traffic turns around at
+//! the ToR; everything else goes ToR → aggregation → ToR. The aggregation
+//! switch is chosen by an ECMP-style hash of `(flow, path_id)` — the
+//! *path id* is the entropy the multipath transport injects, so
+//! `path_id = const` reproduces classic single-path ECMP and spraying over
+//! 128 path ids approximates uniform coverage of the aggregation layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an RNIC endpoint (one NIC of one host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NicId(pub u32);
+
+/// Identifier of any node (NIC or switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed link (an egress port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Node classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An RNIC of a host: `(host, rail)`.
+    Nic {
+        /// Host index.
+        host: u32,
+        /// Rail (RNIC index within the host).
+        rail: u32,
+    },
+    /// A ToR switch: `(segment, rail, plane)`.
+    Tor {
+        /// Segment (pod) index.
+        segment: u32,
+        /// Rail.
+        rail: u32,
+        /// Plane.
+        plane: u32,
+    },
+    /// An aggregation switch: `(plane, index)`.
+    Agg {
+        /// Plane.
+        plane: u32,
+        /// Index within the plane.
+        index: u32,
+    },
+}
+
+/// Clos topology parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosConfig {
+    /// Network segments (pods).
+    pub segments: usize,
+    /// Hosts per segment.
+    pub hosts_per_segment: usize,
+    /// RNICs (rails) per host.
+    pub rails: usize,
+    /// Planes (ports per RNIC).
+    pub planes: usize,
+    /// Aggregation switches per plane.
+    pub aggs_per_plane: usize,
+}
+
+impl Default for ClosConfig {
+    fn default() -> Self {
+        // A scaled-down HPN7.0 slice: 2 segments × 15 hosts × 4 rails,
+        // dual plane, 60-wide aggregation (the paper's agg count).
+        ClosConfig {
+            segments: 2,
+            hosts_per_segment: 15,
+            rails: 4,
+            planes: 2,
+            aggs_per_plane: 60,
+        }
+    }
+}
+
+/// A built topology with dense node/link id spaces.
+#[derive(Debug, Clone)]
+pub struct ClosTopology {
+    config: ClosConfig,
+    nodes: Vec<NodeKind>,
+    /// `links[i] = (from, to)`.
+    links: Vec<(NodeId, NodeId)>,
+    /// NIC port p -> uplink LinkId, indexed `[nic][plane]`.
+    nic_up: Vec<Vec<LinkId>>,
+    /// ToR-downlink LinkId to a NIC on a plane, indexed `[nic][plane]`.
+    nic_down: Vec<Vec<LinkId>>,
+    /// ToR uplink to agg, indexed `[tor][agg]` (tor is a dense tor index).
+    tor_up: Vec<Vec<LinkId>>,
+    /// Agg downlink to tor, indexed `[tor][agg]`.
+    tor_down: Vec<Vec<LinkId>>,
+}
+
+impl ClosTopology {
+    /// Build the topology.
+    pub fn build(config: ClosConfig) -> Self {
+        assert!(config.segments >= 1, "need at least one segment");
+        assert!(config.hosts_per_segment >= 1, "need hosts");
+        assert!(config.rails >= 1 && config.planes >= 1, "need rails and planes");
+        assert!(config.aggs_per_plane >= 1, "need aggregation switches");
+
+        let mut nodes = Vec::new();
+        let mut links = Vec::new();
+
+        let total_hosts = config.segments * config.hosts_per_segment;
+        let nic_count = total_hosts * config.rails;
+
+        // NIC nodes first (dense NicId == node id).
+        for host in 0..total_hosts {
+            for rail in 0..config.rails {
+                nodes.push(NodeKind::Nic {
+                    host: host as u32,
+                    rail: rail as u32,
+                });
+            }
+        }
+        // ToRs.
+        let tor_count = config.segments * config.rails * config.planes;
+        let tor_base = nodes.len();
+        for segment in 0..config.segments {
+            for rail in 0..config.rails {
+                for plane in 0..config.planes {
+                    nodes.push(NodeKind::Tor {
+                        segment: segment as u32,
+                        rail: rail as u32,
+                        plane: plane as u32,
+                    });
+                }
+            }
+        }
+        // Aggs.
+        let agg_base = nodes.len();
+        for plane in 0..config.planes {
+            for index in 0..config.aggs_per_plane {
+                nodes.push(NodeKind::Agg {
+                    plane: plane as u32,
+                    index: index as u32,
+                });
+            }
+        }
+
+        let tor_node = |segment: usize, rail: usize, plane: usize| -> NodeId {
+            NodeId(
+                (tor_base + (segment * config.rails + rail) * config.planes + plane) as u32,
+            )
+        };
+        let agg_node = |plane: usize, index: usize| -> NodeId {
+            NodeId((agg_base + plane * config.aggs_per_plane + index) as u32)
+        };
+
+        let mut nic_up = vec![Vec::new(); nic_count];
+        let mut nic_down = vec![Vec::new(); nic_count];
+        // NIC <-> ToR links.
+        for host in 0..total_hosts {
+            let segment = host / config.hosts_per_segment;
+            for rail in 0..config.rails {
+                let nic = NodeId((host * config.rails + rail) as u32);
+                let nic_idx = host * config.rails + rail;
+                for plane in 0..config.planes {
+                    let tor = tor_node(segment, rail, plane);
+                    nic_up[nic_idx].push(LinkId(links.len() as u32));
+                    links.push((nic, tor));
+                    nic_down[nic_idx].push(LinkId(links.len() as u32));
+                    links.push((tor, nic));
+                }
+            }
+        }
+
+        // ToR <-> Agg links (full mesh within a plane).
+        let mut tor_up = vec![Vec::new(); tor_count];
+        let mut tor_down = vec![Vec::new(); tor_count];
+        for segment in 0..config.segments {
+            for rail in 0..config.rails {
+                for plane in 0..config.planes {
+                    let dense = (segment * config.rails + rail) * config.planes + plane;
+                    let tor = tor_node(segment, rail, plane);
+                    for agg in 0..config.aggs_per_plane {
+                        let a = agg_node(plane, agg);
+                        tor_up[dense].push(LinkId(links.len() as u32));
+                        links.push((tor, a));
+                        tor_down[dense].push(LinkId(links.len() as u32));
+                        links.push((a, tor));
+                    }
+                }
+            }
+        }
+
+        ClosTopology {
+            config,
+            nodes,
+            links,
+            nic_up,
+            nic_down,
+            tor_up,
+            tor_down,
+        }
+    }
+
+    /// The configuration this topology was built from.
+    pub fn config(&self) -> &ClosConfig {
+        &self.config
+    }
+
+    /// The NIC id for `(host, rail)`.
+    pub fn nic(&self, host: usize, rail: usize) -> NicId {
+        assert!(rail < self.config.rails, "rail out of range");
+        let total_hosts = self.config.segments * self.config.hosts_per_segment;
+        assert!(host < total_hosts, "host out of range");
+        NicId((host * self.config.rails + rail) as u32)
+    }
+
+    /// `(host, rail)` of a NIC.
+    pub fn nic_location(&self, nic: NicId) -> (usize, usize) {
+        let idx = nic.0 as usize;
+        (idx / self.config.rails, idx % self.config.rails)
+    }
+
+    /// The segment a host belongs to.
+    pub fn segment_of_host(&self, host: usize) -> usize {
+        host / self.config.hosts_per_segment
+    }
+
+    /// Total hosts.
+    pub fn total_hosts(&self) -> usize {
+        self.config.segments * self.config.hosts_per_segment
+    }
+
+    /// Total NICs.
+    pub fn total_nics(&self) -> usize {
+        self.total_hosts() * self.config.rails
+    }
+
+    /// Total links.
+    pub fn total_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Endpoints of a link.
+    pub fn link_endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        self.links[link.0 as usize]
+    }
+
+    /// The node descriptor.
+    pub fn node_kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.0 as usize]
+    }
+
+    /// Every ToR→Agg uplink (the ports whose balance Fig. 12 measures and
+    /// whose queues Fig. 9 plots).
+    pub fn tor_uplinks(&self) -> Vec<LinkId> {
+        self.tor_up.iter().flatten().copied().collect()
+    }
+
+    fn dense_tor(&self, segment: usize, rail: usize, plane: usize) -> usize {
+        (segment * self.config.rails + rail) * self.config.planes + plane
+    }
+
+    /// Deterministic ECMP hash (SplitMix64-style avalanche).
+    fn ecmp_hash(flow: u64, path_id: u32, salt: u64) -> u64 {
+        let mut z = flow
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(path_id as u64)
+            .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Compute the link sequence from `src` to `dst` for `(flow, path_id)`.
+    ///
+    /// Returns an empty route when `src == dst` (host-local transfer).
+    pub fn route(&self, src: NicId, dst: NicId, flow: u64, path_id: u32) -> Vec<LinkId> {
+        if src == dst {
+            return Vec::new();
+        }
+        let (src_host, src_rail) = self.nic_location(src);
+        let (dst_host, dst_rail) = self.nic_location(dst);
+        let src_seg = self.segment_of_host(src_host);
+        let dst_seg = self.segment_of_host(dst_host);
+
+        // The path id indexes the connection's path table: a per-flow
+        // random offset (the ECMP hash of the flow) plus the path id,
+        // striding across the (plane × agg) uplink space. Real multipath
+        // RNICs program exactly such a table, which is why 128 paths
+        // cover the paper's 120 uplinks almost perfectly (Fig. 12), while
+        // path_id = 0 degenerates to classic per-flow ECMP.
+        let slots = (self.config.planes * self.config.aggs_per_plane) as u64;
+        let slot = (Self::ecmp_hash(flow, 0, 1).wrapping_add(path_id as u64)) % slots;
+        let plane = (slot % self.config.planes as u64) as usize;
+
+        let src_nic_idx = src.0 as usize;
+        let dst_nic_idx = dst.0 as usize;
+
+        // Same segment + same rail: turn around at the shared ToR.
+        if src_seg == dst_seg && src_rail == dst_rail {
+            return vec![
+                self.nic_up[src_nic_idx][plane],
+                self.nic_down[dst_nic_idx][plane],
+            ];
+        }
+
+        // Cross-segment or cross-rail: via the aggregation layer. The
+        // destination must be reached on the same plane (planes only meet
+        // at the core, which we fold into the agg layer).
+        assert_eq!(
+            src_rail, dst_rail,
+            "cross-rail traffic requires host-internal forwarding (NVLink), \
+             not modelled; collective workloads are rail-aligned"
+        );
+        let agg = (slot / self.config.planes as u64) as usize;
+        let src_tor = self.dense_tor(src_seg, src_rail, plane);
+        let dst_tor = self.dense_tor(dst_seg, dst_rail, plane);
+        vec![
+            self.nic_up[src_nic_idx][plane],
+            self.tor_up[src_tor][agg],
+            self.tor_down[dst_tor][agg],
+            self.nic_down[dst_nic_idx][plane],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ClosTopology {
+        ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 4,
+            rails: 2,
+            planes: 2,
+            aggs_per_plane: 8,
+        })
+    }
+
+    #[test]
+    fn node_and_link_counts() {
+        let t = small();
+        assert_eq!(t.total_hosts(), 8);
+        assert_eq!(t.total_nics(), 16);
+        // NIC links: 16 NICs × 2 planes × 2 directions = 64.
+        // ToR-agg: 2 seg × 2 rails × 2 planes = 8 ToRs × 8 aggs × 2 = 128.
+        assert_eq!(t.total_links(), 64 + 128);
+        assert_eq!(t.tor_uplinks().len(), 64);
+    }
+
+    #[test]
+    fn nic_round_trip() {
+        let t = small();
+        let nic = t.nic(5, 1);
+        assert_eq!(t.nic_location(nic), (5, 1));
+        assert!(matches!(
+            t.node_kind(NodeId(nic.0)),
+            NodeKind::Nic { host: 5, rail: 1 }
+        ));
+    }
+
+    #[test]
+    fn same_rail_same_segment_stays_under_tor() {
+        let t = small();
+        let route = t.route(t.nic(0, 0), t.nic(1, 0), 42, 0);
+        assert_eq!(route.len(), 2);
+        // Both hops touch the same ToR.
+        let (_, tor_in) = t.link_endpoints(route[0]);
+        let (tor_out, _) = t.link_endpoints(route[1]);
+        assert_eq!(tor_in, tor_out);
+        assert!(matches!(t.node_kind(tor_in), NodeKind::Tor { .. }));
+    }
+
+    #[test]
+    fn cross_segment_goes_via_agg() {
+        let t = small();
+        let route = t.route(t.nic(0, 0), t.nic(4, 0), 42, 0);
+        assert_eq!(route.len(), 4);
+        let (_, agg) = t.link_endpoints(route[1]);
+        assert!(matches!(t.node_kind(agg), NodeKind::Agg { .. }));
+    }
+
+    #[test]
+    fn route_is_contiguous() {
+        let t = small();
+        for path in 0..32 {
+            let route = t.route(t.nic(1, 1), t.nic(6, 1), 7, path);
+            for pair in route.windows(2) {
+                let (_, a_to) = t.link_endpoints(pair[0]);
+                let (b_from, _) = t.link_endpoints(pair[1]);
+                assert_eq!(a_to, b_from, "hop discontinuity on path {path}");
+            }
+            let (first_from, _) = t.link_endpoints(route[0]);
+            let (_, last_to) = t.link_endpoints(*route.last().unwrap());
+            assert_eq!(first_from, NodeId(t.nic(1, 1).0));
+            assert_eq!(last_to, NodeId(t.nic(6, 1).0));
+        }
+    }
+
+    #[test]
+    fn single_path_is_stable_but_multi_path_diversifies() {
+        let t = small();
+        let src = t.nic(0, 0);
+        let dst = t.nic(4, 0);
+        // Same (flow, path) always routes identically.
+        assert_eq!(t.route(src, dst, 9, 3), t.route(src, dst, 9, 3));
+        // Different path ids reach several distinct agg uplinks.
+        let distinct: std::collections::HashSet<_> = (0..64)
+            .map(|p| t.route(src, dst, 9, p)[1])
+            .collect();
+        assert!(distinct.len() > 8, "only {} distinct uplinks", distinct.len());
+    }
+
+    #[test]
+    fn distinct_flows_hash_differently_on_fixed_path() {
+        let t = small();
+        let src = t.nic(0, 0);
+        let dst = t.nic(4, 0);
+        let distinct: std::collections::HashSet<_> =
+            (0..64u64).map(|f| t.route(src, dst, f, 0)[1]).collect();
+        assert!(distinct.len() > 8);
+    }
+
+    #[test]
+    fn loopback_is_empty() {
+        let t = small();
+        assert!(t.route(t.nic(2, 1), t.nic(2, 1), 1, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rail-aligned")]
+    fn cross_rail_rejected() {
+        let t = small();
+        t.route(t.nic(0, 0), t.nic(1, 1), 1, 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Page tables for the translation chain of Fig. 1(a).
+//!
+//! One generic [`PageTable`] maps page-aligned regions from one typed
+//! address space to another; the aliases [`GuestPageTable`] (GVA→GPA),
+//! [`Ept`] (GPA→HPA, the hardware Extended Page Table) and
+//! [`HostPageTable`] (HVA→HPA) instantiate it for the spaces the paper
+//! names. Mappings are contiguity-free: each page maps independently, as in
+//! real page tables, so a multi-page region may be physically scattered.
+
+use std::collections::HashMap;
+
+use crate::addr::{Address, Gpa, Gva, Hpa, Hva};
+
+/// Errors from page-table manipulation and translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagingError {
+    /// The address (or region start) is not mapped.
+    Unmapped {
+        /// The raw offending address.
+        addr: u64,
+    },
+    /// Attempt to map over an existing mapping.
+    AlreadyMapped {
+        /// The raw offending address.
+        addr: u64,
+    },
+    /// Address or length not aligned to the table's page size.
+    Misaligned {
+        /// The raw offending value.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for PagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagingError::Unmapped { addr } => write!(f, "address {addr:#x} is not mapped"),
+            PagingError::AlreadyMapped { addr } => {
+                write!(f, "address {addr:#x} is already mapped")
+            }
+            PagingError::Misaligned { value } => write!(f, "{value:#x} is not page-aligned"),
+        }
+    }
+}
+
+impl std::error::Error for PagingError {}
+
+/// A page table from address space `F` to address space `T` with a fixed
+/// page size.
+#[derive(Debug, Clone)]
+pub struct PageTable<F, T> {
+    page_size: u64,
+    pages: HashMap<u64, u64>, // F page base -> T page base
+    _marker: std::marker::PhantomData<(F, T)>,
+}
+
+/// Guest page table: GVA → GPA (maintained by the guest OS).
+pub type GuestPageTable = PageTable<Gva, Gpa>;
+/// Extended Page Table: GPA → HPA (maintained by the hypervisor, walked in
+/// hardware by the MMU).
+pub type Ept = PageTable<Gpa, Hpa>;
+/// Host page table: HVA → HPA (maintained by the host OS).
+pub type HostPageTable = PageTable<Hva, Hpa>;
+
+impl<F: Address, T: Address> PageTable<F, T> {
+    /// An empty table with the given page size (must be a power of two).
+    pub fn new(page_size: u64) -> Self {
+        assert!(
+            page_size.is_power_of_two() && page_size >= 4096,
+            "page size must be a power of two >= 4096"
+        );
+        PageTable {
+            page_size,
+            pages: HashMap::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The table's page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check_aligned(&self, value: u64) -> Result<(), PagingError> {
+        if !value.is_multiple_of(self.page_size) {
+            Err(PagingError::Misaligned { value })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Map the `len`-byte region at `from` contiguously onto `to`.
+    ///
+    /// Both addresses and `len` must be page-aligned; fails without side
+    /// effects if any page in the region is already mapped.
+    pub fn map(&mut self, from: F, to: T, len: u64) -> Result<(), PagingError> {
+        self.check_aligned(from.raw())?;
+        self.check_aligned(to.raw())?;
+        self.check_aligned(len)?;
+        let pages = len / self.page_size;
+        for i in 0..pages {
+            let f = from.raw() + i * self.page_size;
+            if self.pages.contains_key(&f) {
+                return Err(PagingError::AlreadyMapped { addr: f });
+            }
+        }
+        for i in 0..pages {
+            let f = from.raw() + i * self.page_size;
+            let t = to.raw() + i * self.page_size;
+            self.pages.insert(f, t);
+        }
+        Ok(())
+    }
+
+    /// Map a single page, replacing any existing mapping for it.
+    pub fn map_page_replace(&mut self, from: F, to: T) -> Result<Option<T>, PagingError> {
+        self.check_aligned(from.raw())?;
+        self.check_aligned(to.raw())?;
+        Ok(self.pages.insert(from.raw(), to.raw()).map(T::new))
+    }
+
+    /// Unmap the `len`-byte region at `from`. Fails (without side effects)
+    /// if any page in the region is not mapped.
+    pub fn unmap(&mut self, from: F, len: u64) -> Result<(), PagingError> {
+        self.check_aligned(from.raw())?;
+        self.check_aligned(len)?;
+        let pages = len / self.page_size;
+        for i in 0..pages {
+            let f = from.raw() + i * self.page_size;
+            if !self.pages.contains_key(&f) {
+                return Err(PagingError::Unmapped { addr: f });
+            }
+        }
+        for i in 0..pages {
+            self.pages.remove(&(from.raw() + i * self.page_size));
+        }
+        Ok(())
+    }
+
+    /// Translate an address (any offset within a mapped page).
+    pub fn translate(&self, from: F) -> Result<T, PagingError> {
+        let base = from.page_base(self.page_size);
+        let offset = from.page_offset(self.page_size);
+        self.pages
+            .get(&base.raw())
+            .map(|&t| T::new(t + offset))
+            .ok_or(PagingError::Unmapped { addr: from.raw() })
+    }
+
+    /// Whether the page containing `from` is mapped.
+    pub fn is_mapped(&self, from: F) -> bool {
+        self.pages
+            .contains_key(&from.page_base(self.page_size).raw())
+    }
+
+    /// Iterate over `(from_page, to_page)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (F, T)> + '_ {
+        self.pages.iter().map(|(&f, &t)| (F::new(f), T::new(t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_4K;
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let mut pt = GuestPageTable::new(PAGE_4K);
+        pt.map(Gva(0x1000), Gpa(0x8000), 2 * PAGE_4K).unwrap();
+        assert_eq!(pt.translate(Gva(0x1234)).unwrap(), Gpa(0x8234));
+        assert_eq!(pt.translate(Gva(0x2ff0)).unwrap(), Gpa(0x9ff0));
+        assert!(pt.translate(Gva(0x3000)).is_err());
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn double_map_fails_atomically() {
+        let mut pt = Ept::new(PAGE_4K);
+        pt.map(Gpa(0x2000), Hpa(0x10_0000), PAGE_4K).unwrap();
+        // Second page of this new region collides with the existing one.
+        let err = pt.map(Gpa(0x1000), Hpa(0x20_0000), 2 * PAGE_4K);
+        assert_eq!(err, Err(PagingError::AlreadyMapped { addr: 0x2000 }));
+        // First page must NOT have been mapped (atomic failure).
+        assert!(!pt.is_mapped(Gpa(0x1000)));
+    }
+
+    #[test]
+    fn unmap_requires_full_coverage() {
+        let mut pt = HostPageTable::new(PAGE_4K);
+        pt.map(Hva(0x1000), Hpa(0x5000), PAGE_4K).unwrap();
+        let err = pt.unmap(Hva(0x1000), 2 * PAGE_4K);
+        assert_eq!(err, Err(PagingError::Unmapped { addr: 0x2000 }));
+        // Still mapped after the failed unmap.
+        assert!(pt.is_mapped(Hva(0x1000)));
+        pt.unmap(Hva(0x1000), PAGE_4K).unwrap();
+        assert!(!pt.is_mapped(Hva(0x1000)));
+    }
+
+    #[test]
+    fn misalignment_is_rejected() {
+        let mut pt = GuestPageTable::new(PAGE_4K);
+        assert!(matches!(
+            pt.map(Gva(0x1001), Gpa(0x8000), PAGE_4K),
+            Err(PagingError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            pt.map(Gva(0x1000), Gpa(0x8000), 100),
+            Err(PagingError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn scattered_physical_pages() {
+        // Pages of one virtual region may map anywhere.
+        let mut pt = HostPageTable::new(PAGE_4K);
+        pt.map_page_replace(Hva(0x0000), Hpa(0x9000)).unwrap();
+        pt.map_page_replace(Hva(0x1000), Hpa(0x3000)).unwrap();
+        assert_eq!(pt.translate(Hva(0x0010)).unwrap(), Hpa(0x9010));
+        assert_eq!(pt.translate(Hva(0x1010)).unwrap(), Hpa(0x3010));
+    }
+
+    #[test]
+    fn map_page_replace_returns_old() {
+        let mut pt = Ept::new(PAGE_4K);
+        assert_eq!(pt.map_page_replace(Gpa(0x1000), Hpa(0x2000)), Ok(None));
+        assert_eq!(
+            pt.map_page_replace(Gpa(0x1000), Hpa(0x4000)),
+            Ok(Some(Hpa(0x2000)))
+        );
+        assert_eq!(pt.translate(Gpa(0x1000)).unwrap(), Hpa(0x4000));
+    }
+
+    #[test]
+    fn two_mib_pages() {
+        use crate::addr::PAGE_2M;
+        let mut pt = Ept::new(PAGE_2M);
+        pt.map(Gpa(0), Hpa(0x4000_0000), PAGE_2M).unwrap();
+        assert_eq!(pt.translate(Gpa(0x12_3456)).unwrap(), Hpa(0x4012_3456));
+        assert!(matches!(
+            pt.map(Gpa(0x1000), Hpa(0), PAGE_2M),
+            Err(PagingError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            PagingError::Unmapped { addr: 0x42 }.to_string(),
+            "address 0x42 is not mapped"
+        );
+    }
+}

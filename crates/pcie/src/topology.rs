@@ -1,0 +1,575 @@
+//! The PCIe fabric of Fig. 1(b): Root Complex, switches, endpoints, and TLP
+//! routing — including the AT-field fast path that eMTT exploits (Fig. 7)
+//! and the bounded switch LUT behind Problem ③.
+//!
+//! Routing semantics reproduced from the paper:
+//!
+//! * A TLP with AT = `0b10` (**Translated**) carries a host-physical address.
+//!   If it targets the BAR of a peer device under the same switch *and* the
+//!   requester's BDF is registered in that switch's LUT, the switch routes
+//!   it peer-to-peer without visiting the Root Complex (Fig. 7, GDR write
+//!   step 2).
+//! * A TLP with AT = `0b00` (**Untranslated**) carries an IOVA; the switch
+//!   forwards it to the Root Complex, whose IOMMU performs the final
+//!   translation before the request is routed to its destination.
+//! * The LUT holds a bounded number of BDFs (32 on the paper's troubled
+//!   server model); when it is full, additional devices cannot enable
+//!   peer-to-peer GDR and their "translated" traffic detours through the RC.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use stellar_sim::SimDuration;
+
+use crate::addr::{Address, Bdf, Hpa, Iova, Range};
+use crate::iommu::{Iommu, IommuError};
+
+/// PCIe TLP Address Translation field (PCIe spec §2.2.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtField {
+    /// `0b00` — the address is untranslated (an IOVA); the RC must
+    /// translate it.
+    Untranslated,
+    /// `0b10` — the address was already translated (via ATS or eMTT); the
+    /// switch may route it directly.
+    Translated,
+}
+
+/// TLP operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlpKind {
+    /// Posted memory write.
+    MemWrite,
+    /// Memory read (completion latency folded into the hop model).
+    MemRead,
+}
+
+/// A transaction-layer packet issued by an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tlp {
+    /// Issuing device.
+    pub source: DeviceId,
+    /// Operation.
+    pub kind: TlpKind,
+    /// Address: an HPA when `at == Translated`, an IOVA otherwise.
+    pub addr: u64,
+    /// AT field.
+    pub at: AtField,
+    /// Payload length in bytes.
+    pub bytes: u64,
+}
+
+/// Endpoint device kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A GPU with device memory exposed through its BAR.
+    Gpu,
+    /// An RDMA-capable NIC.
+    Rnic,
+}
+
+/// Identifier of an endpoint in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+/// Identifier of a PCIe switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+/// An endpoint attached to the fabric.
+#[derive(Debug, Clone)]
+pub struct PcieDevice {
+    /// Device id.
+    pub id: DeviceId,
+    /// Kind.
+    pub kind: DeviceKind,
+    /// PCIe BDF.
+    pub bdf: Bdf,
+    /// BAR window in host-physical space (device memory / registers).
+    pub bar: Range<Hpa>,
+    /// The switch this endpoint hangs off.
+    pub switch: SwitchId,
+}
+
+#[derive(Debug)]
+struct Switch {
+    lut: Vec<Bdf>,
+    lut_capacity: usize,
+}
+
+/// Where a routed TLP ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTarget {
+    /// Main memory (DRAM).
+    MainMemory(Hpa),
+    /// A peer device's BAR.
+    Device(DeviceId, Hpa),
+}
+
+/// How a routed TLP travelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePath {
+    /// Switch-local peer-to-peer (never visited the RC).
+    PeerToPeer,
+    /// Through the Root Complex (possibly with IOMMU translation).
+    ViaRootComplex,
+}
+
+/// Result of routing a TLP through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Final destination.
+    pub target: RouteTarget,
+    /// Path taken.
+    pub path: RoutePath,
+    /// Total simulated fabric latency (hops + any IOMMU work).
+    pub latency: SimDuration,
+}
+
+/// Fabric errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// The switch LUT is full; the BDF cannot enable P2P (Problem ③).
+    LutFull {
+        /// The switch whose LUT overflowed.
+        switch: SwitchId,
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// Unknown device or switch id.
+    UnknownId,
+    /// A translated address fell outside every BAR and main memory.
+    BadAddress(u64),
+    /// IOMMU fault while translating an untranslated TLP.
+    Iommu(IommuError),
+    /// Duplicate BDF registration.
+    DuplicateBdf(Bdf),
+}
+
+impl From<IommuError> for FabricError {
+    fn from(e: IommuError) -> Self {
+        FabricError::Iommu(e)
+    }
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::LutFull { switch, capacity } => {
+                write!(f, "switch {switch:?} LUT full (capacity {capacity})")
+            }
+            FabricError::UnknownId => write!(f, "unknown device or switch id"),
+            FabricError::BadAddress(a) => write!(f, "no BAR or memory claims address {a:#x}"),
+            FabricError::Iommu(e) => write!(f, "{e}"),
+            FabricError::DuplicateBdf(b) => write!(f, "BDF {b} already present"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Fabric latency model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// One switch traversal.
+    pub switch_hop: SimDuration,
+    /// Switch → RC (or RC → switch) traversal.
+    pub rc_hop: SimDuration,
+    /// Per-switch LUT capacity ("each PCIe switch can only accommodate 32
+    /// BDFs" on the troubled server model).
+    pub lut_capacity: usize,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            switch_hop: SimDuration::from_nanos(120),
+            rc_hop: SimDuration::from_nanos(300),
+            lut_capacity: 32,
+        }
+    }
+}
+
+/// The PCIe fabric: one Root Complex (owning the [`Iommu`]), switches, and
+/// endpoints.
+#[derive(Debug)]
+pub struct Fabric {
+    config: FabricConfig,
+    iommu: Iommu,
+    switches: Vec<Switch>,
+    devices: Vec<PcieDevice>,
+    bdfs: HashMap<Bdf, DeviceId>,
+    main_memory: Range<Hpa>,
+    p2p_tlps: u64,
+    rc_tlps: u64,
+}
+
+impl Fabric {
+    /// A fabric with the given latency model, IOMMU, and main-memory window.
+    pub fn new(config: FabricConfig, iommu: Iommu, main_memory: Range<Hpa>) -> Self {
+        Fabric {
+            config,
+            iommu,
+            switches: Vec::new(),
+            devices: Vec::new(),
+            bdfs: HashMap::new(),
+            main_memory,
+            p2p_tlps: 0,
+            rc_tlps: 0,
+        }
+    }
+
+    /// Add a switch; returns its id.
+    pub fn add_switch(&mut self) -> SwitchId {
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(Switch {
+            lut: Vec::new(),
+            lut_capacity: self.config.lut_capacity,
+        });
+        id
+    }
+
+    /// Attach an endpoint under `switch`.
+    pub fn add_device(
+        &mut self,
+        kind: DeviceKind,
+        switch: SwitchId,
+        bdf: Bdf,
+        bar: Range<Hpa>,
+    ) -> Result<DeviceId, FabricError> {
+        if self.switches.get(switch.0 as usize).is_none() {
+            return Err(FabricError::UnknownId);
+        }
+        if self.bdfs.contains_key(&bdf) {
+            return Err(FabricError::DuplicateBdf(bdf));
+        }
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(PcieDevice {
+            id,
+            kind,
+            bdf,
+            bar,
+            switch,
+        });
+        self.bdfs.insert(bdf, id);
+        Ok(id)
+    }
+
+    /// Register `bdf` in `switch`'s LUT to enable P2P (GDR) for it.
+    ///
+    /// Fails with [`FabricError::LutFull`] once the LUT capacity is
+    /// exhausted — the paper's Problem ③.
+    pub fn register_lut(&mut self, switch: SwitchId, bdf: Bdf) -> Result<(), FabricError> {
+        let sw = self
+            .switches
+            .get_mut(switch.0 as usize)
+            .ok_or(FabricError::UnknownId)?;
+        if sw.lut.contains(&bdf) {
+            return Ok(());
+        }
+        if sw.lut.len() >= sw.lut_capacity {
+            return Err(FabricError::LutFull {
+                switch,
+                capacity: sw.lut_capacity,
+            });
+        }
+        sw.lut.push(bdf);
+        Ok(())
+    }
+
+    /// Remove `bdf` from `switch`'s LUT.
+    pub fn unregister_lut(&mut self, switch: SwitchId, bdf: Bdf) {
+        if let Some(sw) = self.switches.get_mut(switch.0 as usize) {
+            sw.lut.retain(|b| *b != bdf);
+        }
+    }
+
+    /// Number of LUT entries in use on `switch`.
+    pub fn lut_len(&self, switch: SwitchId) -> usize {
+        self.switches
+            .get(switch.0 as usize)
+            .map_or(0, |s| s.lut.len())
+    }
+
+    /// The fabric's IOMMU (for mapping/pinning setup).
+    pub fn iommu_mut(&mut self) -> &mut Iommu {
+        &mut self.iommu
+    }
+
+    /// The fabric's IOMMU, read-only.
+    pub fn iommu(&self) -> &Iommu {
+        &self.iommu
+    }
+
+    /// A device's descriptor.
+    pub fn device(&self, id: DeviceId) -> Option<&PcieDevice> {
+        self.devices.get(id.0 as usize)
+    }
+
+    fn claim_hpa(&self, hpa: Hpa) -> Result<RouteTarget, FabricError> {
+        if self.main_memory.contains(hpa) {
+            return Ok(RouteTarget::MainMemory(hpa));
+        }
+        for dev in &self.devices {
+            if dev.bar.contains(hpa) {
+                return Ok(RouteTarget::Device(dev.id, hpa));
+            }
+        }
+        Err(FabricError::BadAddress(hpa.raw()))
+    }
+
+    /// Route a TLP through the fabric, returning where it landed and what
+    /// it cost.
+    pub fn route(&mut self, tlp: Tlp) -> Result<RouteOutcome, FabricError> {
+        let source = self
+            .devices
+            .get(tlp.source.0 as usize)
+            .ok_or(FabricError::UnknownId)?
+            .clone();
+
+        match tlp.at {
+            AtField::Translated => {
+                let hpa = Hpa(tlp.addr);
+                let target = self.claim_hpa(hpa)?;
+                // P2P fast path: peer under the same switch with the
+                // requester registered in the LUT.
+                if let RouteTarget::Device(peer, _) = target {
+                    let peer_switch = self.devices[peer.0 as usize].switch;
+                    let lut_ok = self.switches[source.switch.0 as usize]
+                        .lut
+                        .contains(&source.bdf);
+                    if peer_switch == source.switch && lut_ok {
+                        self.p2p_tlps += 1;
+                        return Ok(RouteOutcome {
+                            target,
+                            path: RoutePath::PeerToPeer,
+                            latency: self.config.switch_hop,
+                        });
+                    }
+                }
+                // Translated but not P2P-eligible: up to the RC and back
+                // down (no IOMMU work — address is already physical).
+                self.rc_tlps += 1;
+                Ok(RouteOutcome {
+                    target,
+                    path: RoutePath::ViaRootComplex,
+                    latency: self.config.switch_hop + self.config.rc_hop.mul(2),
+                })
+            }
+            AtField::Untranslated => {
+                // Switch forwards to the RC; IOMMU translates; RC routes on.
+                self.rc_tlps += 1;
+                let t = self.iommu.translate(Iova(tlp.addr))?;
+                let target = self.claim_hpa(t.hpa)?;
+                let down = match target {
+                    RouteTarget::MainMemory(_) => self.config.rc_hop,
+                    RouteTarget::Device(..) => self.config.rc_hop + self.config.switch_hop,
+                };
+                Ok(RouteOutcome {
+                    target,
+                    path: RoutePath::ViaRootComplex,
+                    latency: self.config.switch_hop + self.config.rc_hop + t.latency + down,
+                })
+            }
+        }
+    }
+
+    /// `(p2p, via_rc)` TLP counters.
+    pub fn tlp_counters(&self) -> (u64, u64) {
+        (self.p2p_tlps, self.rc_tlps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_4K;
+    use crate::iommu::IommuConfig;
+
+    const MEM_BASE: u64 = 0x1_0000_0000;
+
+    fn fabric() -> (Fabric, SwitchId, DeviceId, DeviceId) {
+        let iommu = Iommu::new(IommuConfig::default());
+        let mut f = Fabric::new(
+            FabricConfig::default(),
+            iommu,
+            Range::new(Hpa(MEM_BASE), 1 << 32),
+        );
+        let sw = f.add_switch();
+        let rnic = f
+            .add_device(
+                DeviceKind::Rnic,
+                sw,
+                Bdf::new(0x3a, 0, 0),
+                Range::new(Hpa(0x2000_0000), 0x10_0000),
+            )
+            .unwrap();
+        let gpu = f
+            .add_device(
+                DeviceKind::Gpu,
+                sw,
+                Bdf::new(0x3b, 0, 0),
+                Range::new(Hpa(0x4000_0000), 0x1000_0000),
+            )
+            .unwrap();
+        (f, sw, rnic, gpu)
+    }
+
+    #[test]
+    fn translated_p2p_bypasses_rc() {
+        let (mut f, sw, rnic, gpu) = fabric();
+        f.register_lut(sw, Bdf::new(0x3a, 0, 0)).unwrap();
+        let out = f
+            .route(Tlp {
+                source: rnic,
+                kind: TlpKind::MemWrite,
+                addr: 0x4000_0100, // inside GPU BAR
+                at: AtField::Translated,
+                bytes: 4096,
+            })
+            .unwrap();
+        assert_eq!(out.path, RoutePath::PeerToPeer);
+        assert_eq!(out.target, RouteTarget::Device(gpu, Hpa(0x4000_0100)));
+        assert_eq!(out.latency, f.config.switch_hop);
+        assert_eq!(f.tlp_counters(), (1, 0));
+    }
+
+    #[test]
+    fn translated_without_lut_detours_via_rc() {
+        let (mut f, _sw, rnic, _gpu) = fabric();
+        // No LUT registration for the RNIC's BDF.
+        let out = f
+            .route(Tlp {
+                source: rnic,
+                kind: TlpKind::MemWrite,
+                addr: 0x4000_0100,
+                at: AtField::Translated,
+                bytes: 4096,
+            })
+            .unwrap();
+        assert_eq!(out.path, RoutePath::ViaRootComplex);
+        assert!(out.latency > f.config.switch_hop);
+    }
+
+    #[test]
+    fn untranslated_goes_through_iommu() {
+        let (mut f, _sw, rnic, _gpu) = fabric();
+        f.iommu_mut()
+            .map(Iova(0x7000), Hpa(MEM_BASE + 0x9000), PAGE_4K)
+            .unwrap();
+        let out = f
+            .route(Tlp {
+                source: rnic,
+                kind: TlpKind::MemWrite,
+                addr: 0x7010,
+                at: AtField::Untranslated,
+                bytes: 64,
+            })
+            .unwrap();
+        assert_eq!(out.path, RoutePath::ViaRootComplex);
+        assert_eq!(out.target, RouteTarget::MainMemory(Hpa(MEM_BASE + 0x9010)));
+        assert_eq!(f.tlp_counters(), (0, 1));
+    }
+
+    #[test]
+    fn untranslated_fault_surfaces() {
+        let (mut f, _sw, rnic, _gpu) = fabric();
+        let err = f.route(Tlp {
+            source: rnic,
+            kind: TlpKind::MemRead,
+            addr: 0xbad0_0000,
+            at: AtField::Untranslated,
+            bytes: 64,
+        });
+        assert!(matches!(err, Err(FabricError::Iommu(_))));
+    }
+
+    #[test]
+    fn lut_capacity_limits_gdr_enablement() {
+        let iommu = Iommu::new(IommuConfig::default());
+        let mut f = Fabric::new(
+            FabricConfig {
+                lut_capacity: 2,
+                ..FabricConfig::default()
+            },
+            iommu,
+            Range::new(Hpa(MEM_BASE), 1 << 32),
+        );
+        let sw = f.add_switch();
+        f.register_lut(sw, Bdf::new(1, 0, 0)).unwrap();
+        f.register_lut(sw, Bdf::new(2, 0, 0)).unwrap();
+        // Idempotent re-registration is fine even when full.
+        f.register_lut(sw, Bdf::new(1, 0, 0)).unwrap();
+        let err = f.register_lut(sw, Bdf::new(3, 0, 0));
+        assert!(matches!(err, Err(FabricError::LutFull { capacity: 2, .. })));
+        f.unregister_lut(sw, Bdf::new(1, 0, 0));
+        f.register_lut(sw, Bdf::new(3, 0, 0)).unwrap();
+        assert_eq!(f.lut_len(sw), 2);
+    }
+
+    #[test]
+    fn bad_translated_address_is_rejected() {
+        let (mut f, sw, rnic, _gpu) = fabric();
+        f.register_lut(sw, Bdf::new(0x3a, 0, 0)).unwrap();
+        let err = f.route(Tlp {
+            source: rnic,
+            kind: TlpKind::MemWrite,
+            addr: 0x00ff_0000, // neither memory nor any BAR
+            at: AtField::Translated,
+            bytes: 64,
+        });
+        assert_eq!(err, Err(FabricError::BadAddress(0x00ff_0000)));
+    }
+
+    #[test]
+    fn duplicate_bdf_rejected() {
+        let (mut f, sw, _rnic, _gpu) = fabric();
+        let err = f.add_device(
+            DeviceKind::Gpu,
+            sw,
+            Bdf::new(0x3a, 0, 0),
+            Range::new(Hpa(0x9000_0000), 0x1000),
+        );
+        assert!(matches!(err, Err(FabricError::DuplicateBdf(_))));
+    }
+
+    #[test]
+    fn cross_switch_p2p_takes_rc_path() {
+        let iommu = Iommu::new(IommuConfig::default());
+        let mut f = Fabric::new(
+            FabricConfig::default(),
+            iommu,
+            Range::new(Hpa(MEM_BASE), 1 << 32),
+        );
+        let sw0 = f.add_switch();
+        let sw1 = f.add_switch();
+        let rnic = f
+            .add_device(
+                DeviceKind::Rnic,
+                sw0,
+                Bdf::new(1, 0, 0),
+                Range::new(Hpa(0x2000_0000), 0x1000),
+            )
+            .unwrap();
+        let _gpu = f
+            .add_device(
+                DeviceKind::Gpu,
+                sw1,
+                Bdf::new(2, 0, 0),
+                Range::new(Hpa(0x4000_0000), 0x1000_0000),
+            )
+            .unwrap();
+        f.register_lut(sw0, Bdf::new(1, 0, 0)).unwrap();
+        let out = f
+            .route(Tlp {
+                source: rnic,
+                kind: TlpKind::MemWrite,
+                addr: 0x4000_0000,
+                at: AtField::Translated,
+                bytes: 4096,
+            })
+            .unwrap();
+        // Different switch: must cross the RC even though translated.
+        assert_eq!(out.path, RoutePath::ViaRootComplex);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for MTT consistency and verbs protection rules.
+
+use proptest::prelude::*;
+use stellar_pcie::addr::{Gva, Hpa, Iova, PAGE_4K};
+use stellar_pcie::topology::DeviceId;
+use stellar_rnic::mtt::{MemOwner, Mtt, MttConfig, MttEntry};
+use stellar_rnic::verbs::{AccessFlags, QpState, Verbs};
+use stellar_rnic::MrKey;
+
+proptest! {
+    /// eMTT lookups always resolve to the registered per-page entry, for
+    /// arbitrary (page count, base, owner) combinations.
+    #[test]
+    fn emtt_lookup_consistency(
+        pages in 1u64..128,
+        base_page in 0u64..10_000,
+        hpa_page in 0u64..10_000,
+        probe in 0u64..128,
+        offset in 0u64..PAGE_4K,
+        gpu in proptest::bool::ANY,
+    ) {
+        let mut mtt = Mtt::new(MttConfig::default());
+        let base = Gva(base_page * PAGE_4K);
+        let hpa = Hpa(hpa_page * PAGE_4K);
+        let owner = if gpu { MemOwner::Gpu(DeviceId(1)) } else { MemOwner::HostMem };
+        mtt.register_extended_contiguous(MrKey(1), base, hpa, pages * PAGE_4K, owner)
+            .unwrap();
+        let q = Gva(base.0 + probe * PAGE_4K + offset);
+        let r = mtt.lookup(MrKey(1), q);
+        if probe < pages {
+            let (entry, off) = r.unwrap();
+            prop_assert_eq!(off, offset);
+            match entry {
+                MttEntry::Extended { hpa: h, owner: o } => {
+                    prop_assert_eq!(h, Hpa(hpa.0 + probe * PAGE_4K));
+                    prop_assert_eq!(o, owner);
+                }
+                MttEntry::Legacy { .. } => prop_assert!(false, "wrong entry kind"),
+            }
+        } else {
+            prop_assert!(r.is_err());
+        }
+    }
+
+    /// Capacity accounting: used entries always equal the sum of live
+    /// regions' pages, across arbitrary register/deregister sequences.
+    #[test]
+    fn mtt_capacity_accounting(ops in proptest::collection::vec((0u32..8, 1u64..32), 1..50)) {
+        let mut mtt = Mtt::new(MttConfig {
+            capacity_entries: 10_000,
+            ..MttConfig::default()
+        });
+        let mut live: std::collections::HashMap<u32, u64> = Default::default();
+        for (key, pages) in ops {
+            if let std::collections::hash_map::Entry::Vacant(e) = live.entry(key) {
+                mtt.register_legacy_contiguous(
+                    MrKey(key),
+                    Gva((key as u64) << 32),
+                    Iova(0),
+                    pages * PAGE_4K,
+                )
+                .unwrap();
+                e.insert(pages);
+            } else {
+                mtt.deregister(MrKey(key));
+                live.remove(&key);
+            }
+            prop_assert_eq!(mtt.used_entries() as u64, live.values().sum::<u64>());
+        }
+    }
+
+    /// The protection-domain rule holds for arbitrary QP/MR pairings:
+    /// access succeeds iff same PD, in bounds, permitted, and QP ready.
+    #[test]
+    fn pd_rule_is_total(
+        qp_pd in 0usize..3,
+        mr_pd in 0usize..3,
+        ready in proptest::bool::ANY,
+        len in 1u64..0x3000,
+        start in 0u64..0x3000,
+        writable in proptest::bool::ANY,
+    ) {
+        let mut v = Verbs::new();
+        let pds = [v.alloc_pd(), v.alloc_pd(), v.alloc_pd()];
+        let mr = v
+            .register_mr(
+                pds[mr_pd],
+                Gva(0x1000),
+                0x2000,
+                if writable { AccessFlags::all() } else { AccessFlags::LOCAL_READ },
+            )
+            .unwrap();
+        let qp = v.create_qp(pds[qp_pd]).unwrap();
+        if ready {
+            v.modify_qp(qp, QpState::Init).unwrap();
+            v.modify_qp(qp, QpState::ReadyToReceive).unwrap();
+            v.modify_qp(qp, QpState::ReadyToSend).unwrap();
+        }
+        let gva = Gva(0x1000 + start);
+        let res = v.check_access(qp, mr, gva, len, AccessFlags::REMOTE_WRITE);
+        let in_bounds = start + len <= 0x2000;
+        let should_pass = ready && qp_pd == mr_pd && in_bounds && writable;
+        prop_assert_eq!(res.is_ok(), should_pass, "res={:?}", res);
+    }
+}

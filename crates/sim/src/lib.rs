@@ -1,0 +1,44 @@
+//! # stellar-sim — deterministic discrete-event simulation substrate
+//!
+//! Every experiment in the Stellar reproduction runs on this engine. It
+//! provides four building blocks:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulated clock.
+//! * [`EventQueue`] — a priority queue of timestamped events with
+//!   deterministic FIFO tie-breaking, the heart of the simulator main loop.
+//! * [`SimRng`] — a seedable, forkable random stream so that every run is
+//!   reproducible bit-for-bit from a single `u64` seed.
+//! * [`stats`] — counters, histograms, gauges and time-series used to report
+//!   the quantities the paper's figures plot (queue depth, bandwidth,
+//!   latency percentiles, load imbalance).
+//!
+//! The engine is intentionally synchronous and single-threaded (per the
+//! smoltcp idiom of explicit, poll-driven state machines): determinism and
+//! debuggability matter more here than wall-clock parallelism. Parameter
+//! sweeps parallelize across *runs*, not within one.
+//!
+//! ```
+//! use stellar_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_micros(5), Ev::Pong);
+//! q.schedule(SimTime::ZERO + SimDuration::from_micros(1), Ev::Ping);
+//! let (t1, e1) = q.pop().unwrap();
+//! assert_eq!((t1.as_nanos(), e1), (1_000, Ev::Ping));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod queue;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use cache::LruCache;
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{transmit_time, SimDuration, SimTime};

@@ -1,0 +1,191 @@
+//! The event queue at the heart of the discrete-event simulator.
+//!
+//! Events are ordered by timestamp; events with equal timestamps pop in the
+//! order they were scheduled (FIFO tie-break via a monotonically increasing
+//! sequence number). This tie-break is what makes runs deterministic: a
+//! plain `BinaryHeap` over `(time, payload)` would pop equal-time events in
+//! an order that depends on heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A deterministic timestamped event queue.
+///
+/// The payload type `E` is defined by each simulator (fabric, RNIC, ...);
+/// the queue imposes no trait bounds beyond what the heap needs internally.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering is by (time, seq) only; the event payload never participates,
+// so `E` needs no `Ord` bound.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling behind the clock would
+    /// silently corrupt causality, so it is treated as a logic bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} is before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (a cheap progress/size metric
+    /// for run reports and runaway detection in tests).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(t(7)));
+        q.pop();
+        assert_eq!(q.now(), t(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn rescheduling_at_current_time_is_allowed() {
+        // An event may schedule follow-up work "now" (zero-latency hop).
+        let mut q = EventQueue::new();
+        q.schedule(t(3), 1u8);
+        q.pop();
+        q.schedule(t(3), 2u8);
+        assert_eq!(q.pop(), Some((t(3), 2)));
+    }
+}

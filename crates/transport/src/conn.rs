@@ -1,0 +1,391 @@
+//! RC connection state: message segmentation, sender bookkeeping, and the
+//! out-of-order receive path.
+//!
+//! Spraying packets over 128 paths guarantees heavy reordering at the
+//! receiver. Like the paper's RNIC (Direct Packet Placement, paper ref. 19), the
+//! receiver writes each packet straight to its memory slot — modelled by a
+//! per-message bitmap — and completes the message exactly once when every
+//! packet has landed, regardless of arrival order. Duplicates (RTO
+//! retransmissions racing the original) are absorbed idempotently.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use stellar_net::NicId;
+use stellar_sim::SimTime;
+
+/// Connection identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConnId(pub u32);
+
+/// Message identifier, unique within a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MsgId(pub u64);
+
+/// A packet not yet sent.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingPacket {
+    /// Owning message.
+    pub msg: MsgId,
+    /// Packet index within the message.
+    pub idx: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// A packet in flight (sender view).
+#[derive(Debug, Clone, Copy)]
+pub struct InflightPacket {
+    /// Owning message.
+    pub msg: MsgId,
+    /// Packet index within the message.
+    pub idx: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Path it was sent on.
+    pub path: u32,
+    /// Send timestamp (for RTT).
+    pub sent_at: SimTime,
+    /// Retransmission count.
+    pub retx: u32,
+}
+
+/// Per-message receive/ack progress.
+#[derive(Debug)]
+pub struct MessageState {
+    /// Total packets in the message.
+    pub total_packets: u64,
+    /// Message length in bytes.
+    pub bytes: u64,
+    /// When the sender posted it.
+    pub posted_at: SimTime,
+    /// Receiver-side bitmap of landed packets.
+    received: Vec<u64>,
+    received_count: u64,
+    /// Sender-side count of acknowledged packets.
+    pub acked_packets: u64,
+    /// Set when the receiver completed the message.
+    pub completed_at: Option<SimTime>,
+}
+
+impl MessageState {
+    /// A fresh message of `total_packets` packets.
+    pub fn new(total_packets: u64, bytes: u64, posted_at: SimTime) -> Self {
+        MessageState {
+            total_packets,
+            bytes,
+            posted_at,
+            received: vec![0u64; total_packets.div_ceil(64) as usize],
+            received_count: 0,
+            acked_packets: 0,
+            completed_at: None,
+        }
+    }
+
+    /// Record packet `idx` landing at the receiver. Returns `true` if it
+    /// was new (not a duplicate).
+    pub fn place_packet(&mut self, idx: u64) -> bool {
+        assert!(idx < self.total_packets, "packet index out of range");
+        let (w, b) = ((idx / 64) as usize, idx % 64);
+        if self.received[w] & (1 << b) != 0 {
+            return false;
+        }
+        self.received[w] |= 1 << b;
+        self.received_count += 1;
+        true
+    }
+
+    /// Whether every packet has landed.
+    pub fn fully_received(&self) -> bool {
+        self.received_count == self.total_packets
+    }
+
+    /// Packets landed so far.
+    pub fn received_count(&self) -> u64 {
+        self.received_count
+    }
+}
+
+/// Why a two-sided send could not be accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// No receive buffer posted (the RC "receiver not ready" NAK).
+    ReceiverNotReady,
+    /// The matched receive buffer is smaller than the message.
+    RecvBufferTooSmall {
+        /// Posted buffer size.
+        posted: u64,
+        /// Message size.
+        message: u64,
+    },
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::ReceiverNotReady => write!(f, "RNR NAK: no receive posted"),
+            SendError::RecvBufferTooSmall { posted, message } => {
+                write!(f, "recv buffer {posted} B < message {message} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Cumulative connection statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ConnStats {
+    /// Packets sent (first transmissions).
+    pub sent_packets: u64,
+    /// Packets retransmitted after RTO.
+    pub retransmits: u64,
+    /// RTO events.
+    pub rto_events: u64,
+    /// Packets delivered to the receiver (deduplicated).
+    pub delivered_packets: u64,
+    /// Payload bytes delivered (deduplicated).
+    pub delivered_bytes: u64,
+    /// Messages completed.
+    pub completed_messages: u64,
+    /// ACKs with ECN echo.
+    pub ecn_acks: u64,
+    /// Total ACKs.
+    pub acks: u64,
+    /// Two-sided sends rejected with RNR (no receive posted).
+    pub rnr_naks: u64,
+}
+
+/// One RC connection (sender and receiver state in one place — both ends
+/// live in the same simulation).
+#[derive(Debug)]
+pub struct Connection {
+    /// Identifier.
+    pub id: ConnId,
+    /// Source NIC.
+    pub src: NicId,
+    /// Destination NIC.
+    pub dst: NicId,
+    /// Unsent packets, FIFO.
+    pub unsent: VecDeque<PendingPacket>,
+    /// In-flight packets by sequence number.
+    pub inflight: HashMap<u64, InflightPacket>,
+    /// In-flight payload bytes (window accounting).
+    pub inflight_bytes: u64,
+    /// Per-message state.
+    pub messages: HashMap<MsgId, MessageState>,
+    /// Posted receive buffers (two-sided verbs), FIFO-matched.
+    pub recv_queue: VecDeque<u64>,
+    /// Statistics.
+    pub stats: ConnStats,
+    next_seq: u64,
+    next_msg: u64,
+}
+
+impl Connection {
+    /// A new idle connection.
+    pub fn new(id: ConnId, src: NicId, dst: NicId) -> Self {
+        Connection {
+            id,
+            src,
+            dst,
+            unsent: VecDeque::new(),
+            inflight: HashMap::new(),
+            inflight_bytes: 0,
+            messages: HashMap::new(),
+            recv_queue: VecDeque::new(),
+            stats: ConnStats::default(),
+            next_seq: 0,
+            next_msg: 0,
+        }
+    }
+
+    /// Segment a message of `bytes` into MTU-sized packets and queue them.
+    pub fn post_message(&mut self, now: SimTime, bytes: u64, mtu: u64) -> MsgId {
+        assert!(bytes > 0, "empty message");
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let total_packets = bytes.div_ceil(mtu);
+        self.messages
+            .insert(id, MessageState::new(total_packets, bytes, now));
+        for idx in 0..total_packets {
+            let chunk = if idx == total_packets - 1 {
+                bytes - idx * mtu
+            } else {
+                mtu
+            };
+            self.unsent.push_back(PendingPacket {
+                msg: id,
+                idx,
+                bytes: chunk,
+            });
+        }
+        id
+    }
+
+    /// Post a receive buffer of `bytes` (two-sided verbs, IBTA ordering:
+    /// buffers match incoming sends in FIFO order).
+    pub fn post_recv(&mut self, bytes: u64) {
+        assert!(bytes > 0, "empty receive buffer");
+        self.recv_queue.push_back(bytes);
+    }
+
+    /// Two-sided send: consume the head receive buffer, then queue the
+    /// message like a write.
+    ///
+    /// Returns [`SendError::ReceiverNotReady`] (and counts an RNR NAK) if
+    /// no receive is posted, or [`SendError::RecvBufferTooSmall`] if the
+    /// matched buffer cannot hold the message (a fatal RC completion
+    /// error on real hardware — the buffer is consumed either way, per
+    /// the IBTA spec).
+    pub fn post_send(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        mtu: u64,
+    ) -> Result<MsgId, SendError> {
+        let Some(posted) = self.recv_queue.pop_front() else {
+            self.stats.rnr_naks += 1;
+            return Err(SendError::ReceiverNotReady);
+        };
+        if posted < bytes {
+            return Err(SendError::RecvBufferTooSmall {
+                posted,
+                message: bytes,
+            });
+        }
+        Ok(self.post_message(now, bytes, mtu))
+    }
+
+    /// Allocate the next sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Whether nothing remains to send or await.
+    pub fn is_idle(&self) -> bool {
+        self.unsent.is_empty() && self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn() -> Connection {
+        Connection::new(ConnId(0), NicId(0), NicId(1))
+    }
+
+    #[test]
+    fn segmentation_counts_and_tail() {
+        let mut c = conn();
+        let id = c.post_message(SimTime::ZERO, 10_000, 4096);
+        let m = &c.messages[&id];
+        assert_eq!(m.total_packets, 3);
+        let sizes: Vec<u64> = c.unsent.iter().map(|p| p.bytes).collect();
+        assert_eq!(sizes, vec![4096, 4096, 1808]);
+    }
+
+    #[test]
+    fn single_packet_message() {
+        let mut c = conn();
+        let id = c.post_message(SimTime::ZERO, 8, 4096);
+        assert_eq!(c.messages[&id].total_packets, 1);
+        assert_eq!(c.unsent[0].bytes, 8);
+    }
+
+    #[test]
+    fn out_of_order_placement_completes_once() {
+        let mut m = MessageState::new(5, 5 * 4096, SimTime::ZERO);
+        for idx in [4, 0, 2, 1] {
+            assert!(m.place_packet(idx));
+            assert!(!m.fully_received());
+        }
+        // Duplicate of an already-placed packet.
+        assert!(!m.place_packet(2));
+        assert!(!m.fully_received());
+        assert!(m.place_packet(3));
+        assert!(m.fully_received());
+        assert_eq!(m.received_count(), 5);
+    }
+
+    #[test]
+    fn bitmap_handles_many_packets() {
+        let mut m = MessageState::new(1000, 1000 * 4096, SimTime::ZERO);
+        for idx in (0..1000).rev() {
+            m.place_packet(idx);
+        }
+        assert!(m.fully_received());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn placement_beyond_range_panics() {
+        let mut m = MessageState::new(3, 3 * 4096, SimTime::ZERO);
+        m.place_packet(3);
+    }
+
+    #[test]
+    fn send_requires_posted_recv() {
+        let mut c = conn();
+        assert_eq!(
+            c.post_send(SimTime::ZERO, 100, 4096),
+            Err(SendError::ReceiverNotReady)
+        );
+        assert_eq!(c.stats.rnr_naks, 1);
+        c.post_recv(4096);
+        assert!(c.post_send(SimTime::ZERO, 100, 4096).is_ok());
+        // The buffer was consumed.
+        assert_eq!(
+            c.post_send(SimTime::ZERO, 100, 4096),
+            Err(SendError::ReceiverNotReady)
+        );
+    }
+
+    #[test]
+    fn send_larger_than_recv_fails_and_consumes() {
+        let mut c = conn();
+        c.post_recv(64);
+        assert_eq!(
+            c.post_send(SimTime::ZERO, 100, 4096),
+            Err(SendError::RecvBufferTooSmall {
+                posted: 64,
+                message: 100
+            })
+        );
+        // Per IBTA, the mismatched buffer is gone.
+        assert!(c.recv_queue.is_empty());
+    }
+
+    #[test]
+    fn recvs_match_fifo() {
+        let mut c = conn();
+        c.post_recv(100);
+        c.post_recv(10_000);
+        // First send matches the 100-byte buffer even though the second
+        // would fit better (no reordering, per spec).
+        assert!(matches!(
+            c.post_send(SimTime::ZERO, 5_000, 4096),
+            Err(SendError::RecvBufferTooSmall { posted: 100, .. })
+        ));
+        assert!(c.post_send(SimTime::ZERO, 5_000, 4096).is_ok());
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique() {
+        let mut c = conn();
+        let a = c.next_seq();
+        let b = c.next_seq();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut c = conn();
+        assert!(c.is_idle());
+        c.post_message(SimTime::ZERO, 100, 4096);
+        assert!(!c.is_idle());
+    }
+}

@@ -1,0 +1,542 @@
+//! Per-packet path selection over N equivalent paths (§7.2).
+//!
+//! A *path id* is an opaque entropy value `0..num_paths`; the fabric's
+//! ECMP hash maps it to a concrete route. Each algorithm keeps per-path
+//! observations (EWMA RTT, recent ECN fraction) fed back from ACKs.
+
+use serde::{Deserialize, Serialize};
+use stellar_sim::{SimDuration, SimRng, SimTime};
+
+/// The algorithms evaluated in the paper (§7.2, Figs. 9–12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathAlgo {
+    /// All packets on path 0 — the classic single-path ECMP baseline.
+    SinglePath,
+    /// Strict rotation over all paths.
+    RoundRobin,
+    /// Oblivious Packet Spraying: uniform random path per packet — the
+    /// algorithm Stellar deploys with 128 paths.
+    Obs,
+    /// Dynamic Weighted Round-Robin: rotation weighted by inverse RTT.
+    Dwrr,
+    /// Always the path with the lowest observed RTT (explores unprobed
+    /// paths first, then exploits — and therefore concentrates load).
+    BestRtt,
+    /// MP-RDMA-style congestion-aware choice: power-of-two sampling by
+    /// recent ECN fraction.
+    MpRdma,
+    /// Flowlet switching (§7.1): stick to the current path while packets
+    /// are back-to-back; re-pick randomly after an inter-packet gap longer
+    /// than the flowlet timeout. The paper plans this for its older GPU
+    /// clusters ("we appreciate the simplicity and compatibility of this
+    /// approach").
+    Flowlet {
+        /// Inter-packet gap beyond which a new flowlet (and path) starts.
+        gap: SimDuration,
+    },
+    /// Path-aware spraying in the spirit of SMaRTT-REPS/STrack (§9): path
+    /// ids whose packets return clean (unmarked) ACKs are *recycled* for
+    /// subsequent packets; marked or unprobed ids fall back to a random
+    /// pick. The paper implemented "a similar path-aware packet spraying
+    /// algorithm" and measured no significant advantage over OBS on its
+    /// regular, rail-aligned traffic — the `advanced_spray` ablation
+    /// reproduces that comparison.
+    PathAware,
+}
+
+/// Observed state of one path.
+#[derive(Debug, Clone)]
+pub struct PathState {
+    /// EWMA of measured RTT; zero until first sample.
+    pub rtt_ewma: SimDuration,
+    /// EWMA of the ECN-marked fraction of ACKs (0..1).
+    pub ecn_ewma: f64,
+    /// Packets currently outstanding on this path.
+    pub inflight_packets: u64,
+    /// Packets ever sent on this path (for distribution tests).
+    pub sent_packets: u64,
+    dwrr_deficit: f64,
+}
+
+impl Default for PathState {
+    fn default() -> Self {
+        PathState {
+            rtt_ewma: SimDuration::ZERO,
+            ecn_ewma: 0.0,
+            inflight_packets: 0,
+            sent_packets: 0,
+            dwrr_deficit: 0.0,
+        }
+    }
+}
+
+/// Per-connection path selector.
+#[derive(Debug)]
+pub struct PathSelector {
+    algo: PathAlgo,
+    paths: Vec<PathState>,
+    rr_cursor: u32,
+    rng: SimRng,
+    flowlet_path: u32,
+    flowlet_last_send: SimTime,
+    /// REPS-style recycle queue: path ids whose last ACK was clean.
+    recycled: Vec<u32>,
+}
+
+impl PathSelector {
+    /// A selector over `num_paths` paths.
+    pub fn new(algo: PathAlgo, num_paths: u32, rng: SimRng) -> Self {
+        assert!(num_paths >= 1, "need at least one path");
+        PathSelector {
+            algo,
+            paths: (0..num_paths).map(|_| PathState::default()).collect(),
+            rr_cursor: 0,
+            rng,
+            flowlet_path: 0,
+            flowlet_last_send: SimTime::ZERO,
+            recycled: Vec::new(),
+        }
+    }
+
+    /// Number of configured paths.
+    pub fn num_paths(&self) -> u32 {
+        self.paths.len() as u32
+    }
+
+    /// The algorithm in use.
+    pub fn algo(&self) -> PathAlgo {
+        self.algo
+    }
+
+    /// State of one path.
+    pub fn path(&self, id: u32) -> &PathState {
+        &self.paths[id as usize]
+    }
+
+    /// Select the path for the next packet. `exclude` removes one path
+    /// (RTO retransmissions avoid the path that just lost a packet).
+    /// `allowed` further constrains the choice (per-path CC windows).
+    ///
+    /// Returns `None` if no path satisfies the constraints.
+    pub fn select(
+        &mut self,
+        exclude: Option<u32>,
+        allowed: &dyn Fn(u32) -> bool,
+    ) -> Option<u32> {
+        self.select_at(SimTime::ZERO, exclude, allowed)
+    }
+
+    /// Like [`PathSelector::select`], with the current simulation time —
+    /// required by time-sensitive algorithms (flowlet switching).
+    pub fn select_at(
+        &mut self,
+        now: SimTime,
+        exclude: Option<u32>,
+        allowed: &dyn Fn(u32) -> bool,
+    ) -> Option<u32> {
+        let n = self.paths.len() as u32;
+        let ok = |p: u32| -> bool { Some(p) != exclude && allowed(p) };
+        // With one path there is nowhere else to go.
+        if n == 1 {
+            return if allowed(0) { Some(0) } else { None };
+        }
+        let choice = match self.algo {
+            PathAlgo::SinglePath => {
+                // Single-path may still fail over on exclusion (RTO moves
+                // the flow), mirroring ECMP rehash after timeout.
+                if ok(0) {
+                    Some(0)
+                } else {
+                    (1..n).find(|&p| ok(p))
+                }
+            }
+            PathAlgo::RoundRobin => {
+                let mut tried = 0;
+                loop {
+                    if tried >= n {
+                        break None;
+                    }
+                    let p = self.rr_cursor % n;
+                    self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                    tried += 1;
+                    if ok(p) {
+                        break Some(p);
+                    }
+                }
+            }
+            PathAlgo::Obs => {
+                // Uniform random; bounded rejection sampling, then linear
+                // fallback so constrained windows cannot livelock.
+                let mut found = None;
+                for _ in 0..8 {
+                    let p = self.rng.below(n as u64) as u32;
+                    if ok(p) {
+                        found = Some(p);
+                        break;
+                    }
+                }
+                found.or_else(|| (0..n).find(|&p| ok(p)))
+            }
+            PathAlgo::Dwrr => self.select_dwrr(exclude, allowed),
+            PathAlgo::Flowlet { gap } => {
+                let gap_elapsed =
+                    now.saturating_duration_since(self.flowlet_last_send) > gap;
+                if gap_elapsed || !ok(self.flowlet_path) {
+                    // New flowlet: re-hash (uniform random pick).
+                    let mut found = None;
+                    for _ in 0..8 {
+                        let p = self.rng.below(n as u64) as u32;
+                        if ok(p) {
+                            found = Some(p);
+                            break;
+                        }
+                    }
+                    if let Some(p) = found.or_else(|| (0..n).find(|&p| ok(p))) {
+                        self.flowlet_path = p;
+                    } else {
+                        return None;
+                    }
+                }
+                self.flowlet_last_send = now;
+                Some(self.flowlet_path)
+            }
+            PathAlgo::PathAware => {
+                // Drain the recycle queue first (freshly-confirmed good
+                // paths); otherwise explore uniformly like OBS.
+                let mut from_recycle = None;
+                while let Some(p) = self.recycled.pop() {
+                    if ok(p) {
+                        from_recycle = Some(p);
+                        break;
+                    }
+                }
+                from_recycle
+                    .or_else(|| {
+                        for _ in 0..8 {
+                            let p = self.rng.below(n as u64) as u32;
+                            if ok(p) {
+                                return Some(p);
+                            }
+                        }
+                        None
+                    })
+                    .or_else(|| (0..n).find(|&p| ok(p)))
+            }
+            PathAlgo::BestRtt => (0..n)
+                .filter(|&p| ok(p))
+                .min_by_key(|&p| self.paths[p as usize].rtt_ewma),
+            PathAlgo::MpRdma => {
+                // Power-of-two-choices on ECN fraction.
+                let a = self.rng.below(n as u64) as u32;
+                let b = self.rng.below(n as u64) as u32;
+                let pick = |x: u32, y: u32| -> Option<u32> {
+                    match (ok(x), ok(y)) {
+                        (true, true) => {
+                            if self.paths[x as usize].ecn_ewma
+                                <= self.paths[y as usize].ecn_ewma
+                            {
+                                Some(x)
+                            } else {
+                                Some(y)
+                            }
+                        }
+                        (true, false) => Some(x),
+                        (false, true) => Some(y),
+                        (false, false) => None,
+                    }
+                };
+                pick(a, b).or_else(|| (0..n).find(|&p| ok(p)))
+            }
+        };
+        if let Some(p) = choice {
+            let st = &mut self.paths[p as usize];
+            st.inflight_packets += 1;
+            st.sent_packets += 1;
+        }
+        choice
+    }
+
+    fn select_dwrr(&mut self, exclude: Option<u32>, allowed: &dyn Fn(u32) -> bool) -> Option<u32> {
+        let n = self.paths.len() as u32;
+        let ok = |p: u32| -> bool { Some(p) != exclude && allowed(p) };
+        if !(0..n).any(ok) {
+            return None;
+        }
+        // Weight ∝ 1/RTT (unprobed paths get the best weight so they are
+        // explored); accumulate deficits until a permitted path qualifies.
+        let weights: Vec<f64> = self
+            .paths
+            .iter()
+            .map(|p| {
+                let rtt = p.rtt_ewma.as_nanos();
+                if rtt == 0 {
+                    1.0
+                } else {
+                    1.0e4 / rtt as f64
+                }
+            })
+            .collect();
+        let wmax = weights.iter().copied().fold(f64::MIN, f64::max);
+        for _round in 0..64 {
+            for i in 0..n {
+                let p = (self.rr_cursor + i) % n;
+                let st = &mut self.paths[p as usize];
+                st.dwrr_deficit += weights[p as usize] / wmax;
+                if ok(p) && st.dwrr_deficit >= 1.0 {
+                    st.dwrr_deficit -= 1.0;
+                    self.rr_cursor = p + 1;
+                    return Some(p);
+                }
+            }
+        }
+        // Deficits tilted heavily to a blocked path: fall back linearly.
+        (0..n).find(|&p| ok(p))
+    }
+
+    /// Feed back an ACK observation for `path`.
+    pub fn on_ack(&mut self, path: u32, rtt: SimDuration, ecn: bool) {
+        // REPS recycling: clean ACKs re-arm their path id; marked ones
+        // drop it (bounded queue so state stays O(window)).
+        if self.algo == PathAlgo::PathAware && !ecn && self.recycled.len() < 256 {
+            self.recycled.push(path);
+        }
+        let st = &mut self.paths[path as usize];
+        st.inflight_packets = st.inflight_packets.saturating_sub(1);
+        st.rtt_ewma = if st.rtt_ewma == SimDuration::ZERO {
+            rtt
+        } else {
+            // EWMA with alpha = 1/8 (RFC 6298 flavour).
+            SimDuration::from_nanos(
+                (st.rtt_ewma.as_nanos() * 7 + rtt.as_nanos()) / 8,
+            )
+        };
+        st.ecn_ewma = st.ecn_ewma * 0.875 + if ecn { 0.125 } else { 0.0 };
+    }
+
+    /// Note a loss (RTO fired) on `path`.
+    pub fn on_loss(&mut self, path: u32) {
+        let st = &mut self.paths[path as usize];
+        st.inflight_packets = st.inflight_packets.saturating_sub(1);
+        // A loss is worse than an ECN mark; poison the EWMA.
+        st.ecn_ewma = st.ecn_ewma * 0.5 + 0.5;
+    }
+
+    /// Count of paths that ever carried a packet.
+    pub fn active_paths(&self) -> usize {
+        self.paths.iter().filter(|p| p.sent_packets > 0).count()
+    }
+
+    /// Per-path sent-packet histogram.
+    pub fn sent_histogram(&self) -> Vec<u64> {
+        self.paths.iter().map(|p| p.sent_packets).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn selector(algo: PathAlgo, n: u32) -> PathSelector {
+        PathSelector::new(algo, n, SimRng::from_seed(7))
+    }
+
+    const ALL: fn(u32) -> bool = |_| true;
+
+    #[test]
+    fn single_path_sticks_to_zero() {
+        let mut s = selector(PathAlgo::SinglePath, 8);
+        for _ in 0..100 {
+            assert_eq!(s.select(None, &ALL), Some(0));
+        }
+        assert_eq!(s.active_paths(), 1);
+    }
+
+    #[test]
+    fn single_path_fails_over_on_exclusion() {
+        let mut s = selector(PathAlgo::SinglePath, 8);
+        assert_ne!(s.select(Some(0), &ALL), Some(0));
+    }
+
+    #[test]
+    fn round_robin_is_uniform() {
+        let mut s = selector(PathAlgo::RoundRobin, 4);
+        for _ in 0..400 {
+            s.select(None, &ALL);
+        }
+        assert_eq!(s.sent_histogram(), vec![100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn obs_is_roughly_uniform() {
+        let mut s = selector(PathAlgo::Obs, 128);
+        for _ in 0..128 * 100 {
+            s.select(None, &ALL);
+        }
+        let h = s.sent_histogram();
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*min > 50 && *max < 180, "min={min} max={max}");
+        assert_eq!(s.active_paths(), 128);
+    }
+
+    #[test]
+    fn best_rtt_explores_then_concentrates() {
+        let mut s = selector(PathAlgo::BestRtt, 4);
+        // Probe all paths once (unprobed RTT = 0 sorts first).
+        for p in 0..4 {
+            assert_eq!(s.select(None, &ALL), Some(p));
+            s.on_ack(
+                p,
+                SimDuration::from_micros(10 + p as u64 * 5),
+                false,
+            );
+        }
+        // Now path 0 (10 µs) wins consistently.
+        for _ in 0..50 {
+            assert_eq!(s.select(None, &ALL), Some(0));
+            s.on_ack(0, SimDuration::from_micros(10), false);
+        }
+        // "BestRTT tended to activate only a small number of paths."
+        assert!(s.path(0).sent_packets > 50);
+    }
+
+    #[test]
+    fn dwrr_weights_by_inverse_rtt() {
+        let mut s = selector(PathAlgo::Dwrr, 2);
+        // Path 0 fast (10 µs), path 1 slow (40 µs).
+        s.on_ack(0, SimDuration::from_micros(10), false);
+        s.on_ack(1, SimDuration::from_micros(40), false);
+        // The on_ack calls decrement inflight; reset by sending.
+        for _ in 0..500 {
+            s.select(None, &ALL);
+        }
+        let h = s.sent_histogram();
+        // Expect roughly 4:1 in favour of the fast path.
+        let ratio = h[0] as f64 / h[1] as f64;
+        assert!((2.5..6.0).contains(&ratio), "h={h:?}");
+    }
+
+    #[test]
+    fn mp_rdma_avoids_congested_paths() {
+        let mut s = selector(PathAlgo::MpRdma, 8);
+        // Mark paths 0..4 as heavily ECN-marked.
+        for p in 0..4 {
+            for _ in 0..20 {
+                s.paths[p as usize].ecn_ewma =
+                    s.paths[p as usize].ecn_ewma * 0.875 + 0.125;
+            }
+        }
+        for _ in 0..800 {
+            s.select(None, &ALL);
+        }
+        let h = s.sent_histogram();
+        let hot: u64 = h[..4].iter().sum();
+        let cool: u64 = h[4..].iter().sum();
+        assert!(cool > hot, "cool={cool} hot={hot}");
+    }
+
+    #[test]
+    fn allowed_constraint_is_respected() {
+        for algo in [
+            PathAlgo::SinglePath,
+            PathAlgo::RoundRobin,
+            PathAlgo::Obs,
+            PathAlgo::Dwrr,
+            PathAlgo::BestRtt,
+            PathAlgo::MpRdma,
+        ] {
+            let mut s = selector(algo, 8);
+            for _ in 0..100 {
+                let p = s.select(None, &|p| p >= 6);
+                assert!(p.is_some() && p.unwrap() >= 6, "{algo:?} picked {p:?}");
+            }
+            let none = s.select(None, &|_| false);
+            assert_eq!(none, None, "{algo:?} must return None when blocked");
+        }
+    }
+
+    #[test]
+    fn ack_updates_rtt_ewma() {
+        let mut s = selector(PathAlgo::Obs, 2);
+        s.on_ack(0, SimDuration::from_micros(8), false);
+        assert_eq!(s.path(0).rtt_ewma, SimDuration::from_micros(8));
+        s.on_ack(0, SimDuration::from_micros(16), true);
+        let e = s.path(0).rtt_ewma.as_nanos();
+        assert!(e > 8_000 && e < 16_000, "ewma={e}");
+        assert!(s.path(0).ecn_ewma > 0.0);
+    }
+
+    #[test]
+    fn loss_poisons_path() {
+        let mut s = selector(PathAlgo::MpRdma, 2);
+        s.on_loss(1);
+        assert!(s.path(1).ecn_ewma >= 0.5);
+    }
+
+    #[test]
+    fn path_aware_recycles_clean_paths() {
+        let mut s = selector(PathAlgo::PathAware, 64);
+        // First sends are exploratory.
+        let p = s.select(None, &ALL).unwrap();
+        // A clean ACK recycles the path: it is preferred next.
+        s.on_ack(p, SimDuration::from_micros(10), false);
+        assert_eq!(s.select(None, &ALL), Some(p));
+        // A marked ACK does not recycle.
+        s.on_ack(p, SimDuration::from_micros(10), true);
+        let mut repicks = 0;
+        for _ in 0..32 {
+            if s.select(None, &ALL) != Some(p) {
+                repicks += 1;
+            }
+        }
+        assert!(repicks > 16, "marked path must not dominate: {repicks}");
+    }
+
+    #[test]
+    fn path_aware_respects_constraints() {
+        let mut s = selector(PathAlgo::PathAware, 8);
+        s.on_ack(0, SimDuration::from_micros(5), false); // recycle path 0
+        let p = s.select(None, &|p| p >= 4).unwrap();
+        assert!(p >= 4, "recycled-but-disallowed path must be skipped");
+    }
+
+    #[test]
+    fn flowlet_sticks_within_gap_and_switches_after() {
+        let gap = SimDuration::from_micros(50);
+        let mut s = selector(PathAlgo::Flowlet { gap }, 64);
+        // Back-to-back packets: one path.
+        let t0 = SimTime::from_nanos(0);
+        let first = s.select_at(t0, None, &ALL).unwrap();
+        for i in 1..50u64 {
+            let t = SimTime::from_nanos(i * 1_000); // 1 µs apart < gap
+            assert_eq!(s.select_at(t, None, &ALL), Some(first));
+        }
+        // After a long pause, a new flowlet starts; over many flowlets,
+        // multiple paths get used.
+        let mut t = SimTime::from_nanos(1_000_000);
+        for _ in 0..50 {
+            t += SimDuration::from_micros(100); // > gap
+            s.select_at(t, None, &ALL);
+        }
+        assert!(s.active_paths() > 4, "flowlets must diversify paths");
+    }
+
+    #[test]
+    fn flowlet_respects_allowed() {
+        let gap = SimDuration::from_micros(10);
+        let mut s = selector(PathAlgo::Flowlet { gap }, 8);
+        for i in 0..50u64 {
+            let t = SimTime::from_nanos(i * 100_000);
+            let p = s.select_at(t, None, &|p| p >= 6).unwrap();
+            assert!(p >= 6);
+        }
+        assert_eq!(s.select_at(SimTime::from_nanos(9_000_000), None, &|_| false), None);
+    }
+
+    #[test]
+    fn exclusion_with_two_paths() {
+        let mut s = selector(PathAlgo::Obs, 2);
+        for _ in 0..20 {
+            assert_eq!(s.select(Some(1), &ALL), Some(0));
+        }
+    }
+}

@@ -1,0 +1,841 @@
+//! The transport event loop: connections × fabric × congestion control.
+//!
+//! Everything end-to-end happens here: window-gated packet pumping, path
+//! selection, delivery and ACK events, RTO retransmission *on a different
+//! path* (the paper's instant-recovery mechanism for complete link
+//! failures), and receiver-side message completion. Workloads plug in via
+//! the [`App`] trait to chain dependent messages (ring AllReduce steps,
+//! bursty background jobs) causally inside the simulation.
+
+use serde::{Deserialize, Serialize};
+use stellar_net::{Delivery, Network, NicId};
+use stellar_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::cc::{CcConfig, CongestionControl};
+use crate::conn::{ConnId, ConnStats, Connection, InflightPacket, MsgId, SendError};
+use crate::path::{PathAlgo, PathSelector};
+
+/// Transport parameters (§7.2's three key knobs plus the CC profile).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// Path-selection algorithm.
+    pub algo: PathAlgo,
+    /// Paths per connection (4–256 in the paper's sweeps; 128 deployed).
+    pub num_paths: u32,
+    /// MTU / packet payload size in bytes.
+    pub mtu: u64,
+    /// Retransmission timeout ("250 µs ... chosen for our low-latency
+    /// data center topology").
+    pub rto: SimDuration,
+    /// Congestion-control parameters.
+    pub cc: CcConfig,
+    /// §9 ablation: one congestion-control context per path instead of a
+    /// single shared CCC.
+    pub per_path_cc: bool,
+    /// Egress pacing rate in Gbps. `None` sends window-limited bursts;
+    /// `Some(rate)` spaces packets at the given rate, modelling the
+    /// RNIC's hardware rate limiter / DMA feed (application-limited flows
+    /// pace at their offered rate).
+    pub pace_gbps: Option<f64>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            algo: PathAlgo::Obs,
+            num_paths: 128,
+            mtu: 4096,
+            rto: SimDuration::from_micros(250),
+            cc: CcConfig::default(),
+            per_path_cc: false,
+            pace_gbps: None,
+        }
+    }
+}
+
+/// Workload hook: called when a message is fully received.
+pub trait App {
+    /// `msg` on `conn` completed at `sim.now()`. The app may post new
+    /// messages via [`TransportSim::post_message`].
+    fn on_message_complete(&mut self, sim: &mut TransportSim, conn: ConnId, msg: MsgId);
+
+    /// A timer scheduled via [`TransportSim::schedule_timer`] fired.
+    /// Default: ignore. Used by on/off (bursty) workloads.
+    fn on_timer(&mut self, sim: &mut TransportSim, token: u64) {
+        let _ = (sim, token);
+    }
+}
+
+/// An [`App`] that does nothing (open-loop workloads).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopApp;
+
+impl App for NoopApp {
+    fn on_message_complete(&mut self, _sim: &mut TransportSim, _conn: ConnId, _msg: MsgId) {}
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Data packet landed at the receiver.
+    Deliver { conn: ConnId, seq: u64, ecn: bool },
+    /// ACK landed back at the sender.
+    Ack { conn: ConnId, seq: u64, ecn: bool },
+    /// Retransmission timer for (conn, seq) at a given retransmit epoch.
+    Rto { conn: ConnId, seq: u64, epoch: u32 },
+    /// Pacing gate opened: resume pumping the connection.
+    Pace { conn: ConnId },
+    /// Application-scheduled timer.
+    AppTimer { token: u64 },
+}
+
+struct ConnRuntime {
+    conn: Connection,
+    selector: PathSelector,
+    /// One shared CCC, or one per path (§9 ablation).
+    ccs: Vec<CongestionControl>,
+    ack_delay: SimDuration,
+    /// Egress pacing: earliest time the next packet may leave.
+    pace_until: SimTime,
+    /// Whether a Pace wake-up is already queued.
+    pace_scheduled: bool,
+}
+
+/// The transport simulation: fabric + connections + event queue.
+pub struct TransportSim {
+    config: TransportConfig,
+    network: Network,
+    queue: EventQueue<Ev>,
+    conns: Vec<ConnRuntime>,
+    completions: Vec<(ConnId, MsgId)>,
+    rng: SimRng,
+}
+
+impl TransportSim {
+    /// Build a simulation over `network`.
+    pub fn new(network: Network, config: TransportConfig, rng: SimRng) -> Self {
+        TransportSim {
+            config,
+            network,
+            queue: EventQueue::new(),
+            conns: Vec::new(),
+            completions: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The transport configuration.
+    pub fn config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    /// The underlying fabric (stats, failure injection).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The underlying fabric, mutable.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Open an RC connection `src → dst`.
+    pub fn add_connection(&mut self, src: NicId, dst: NicId) -> ConnId {
+        let id = ConnId(self.conns.len() as u32);
+        let cc_count = if self.config.per_path_cc {
+            self.config.num_paths as usize
+        } else {
+            1
+        };
+        let ack_delay = self.network.control_rtt_component(dst, src);
+        self.conns.push(ConnRuntime {
+            conn: Connection::new(id, src, dst),
+            selector: PathSelector::new(
+                self.config.algo,
+                self.config.num_paths,
+                self.rng.fork_idx("conn", id.0 as u64),
+            ),
+            ccs: (0..cc_count)
+                .map(|_| CongestionControl::new(self.config.cc.clone()))
+                .collect(),
+            ack_delay,
+            pace_until: SimTime::ZERO,
+            pace_scheduled: false,
+        });
+        id
+    }
+
+    /// Schedule an [`App::on_timer`] callback at absolute time `at`.
+    pub fn schedule_timer(&mut self, at: SimTime, token: u64) {
+        self.queue.schedule(at, Ev::AppTimer { token });
+    }
+
+    /// Post a message of `bytes` on `conn` at the current time; starts
+    /// transmission immediately as the window allows.
+    pub fn post_message(&mut self, conn: ConnId, bytes: u64) -> MsgId {
+        let now = self.now();
+        let mtu = self.config.mtu;
+        let id = self.conns[conn.0 as usize]
+            .conn
+            .post_message(now, bytes, mtu);
+        self.pump(conn);
+        id
+    }
+
+    /// Post a receive buffer on `conn` (two-sided verbs).
+    pub fn post_recv(&mut self, conn: ConnId, bytes: u64) {
+        self.conns[conn.0 as usize].conn.post_recv(bytes);
+    }
+
+    /// Two-sided send on `conn`: requires a posted receive at the peer
+    /// (RNR NAK otherwise), then transmits like a write.
+    pub fn post_send(&mut self, conn: ConnId, bytes: u64) -> Result<MsgId, SendError> {
+        let now = self.now();
+        let mtu = self.config.mtu;
+        let id = self.conns[conn.0 as usize]
+            .conn
+            .post_send(now, bytes, mtu)?;
+        self.pump(conn);
+        Ok(id)
+    }
+
+    /// Statistics of one connection.
+    pub fn conn_stats(&self, conn: ConnId) -> ConnStats {
+        self.conns[conn.0 as usize].conn.stats
+    }
+
+    /// The path selector of a connection (distribution inspection).
+    pub fn selector(&self, conn: ConnId) -> &PathSelector {
+        &self.conns[conn.0 as usize].selector
+    }
+
+    /// Histogram of message completion latencies (post → full receipt)
+    /// on `conn`, in nanoseconds. Only completed messages contribute.
+    pub fn message_latency_histogram(&self, conn: ConnId) -> stellar_sim::stats::Histogram {
+        let mut h = stellar_sim::stats::Histogram::new();
+        for m in self.conns[conn.0 as usize].conn.messages.values() {
+            if let Some(done) = m.completed_at {
+                h.record_duration(done.duration_since(m.posted_at));
+            }
+        }
+        h
+    }
+
+    /// Completion time of a message, if it finished.
+    pub fn message_completed_at(&self, conn: ConnId, msg: MsgId) -> Option<SimTime> {
+        self.conns[conn.0 as usize]
+            .conn
+            .messages
+            .get(&msg)
+            .and_then(|m| m.completed_at)
+    }
+
+    /// Number of open connections.
+    pub fn connection_count(&self) -> u32 {
+        self.conns.len() as u32
+    }
+
+    /// Whether all connections are idle (nothing queued or in flight).
+    pub fn all_idle(&self) -> bool {
+        self.conns.iter().all(|c| c.conn.is_idle())
+    }
+
+    /// Aggregate delivered payload bytes over all connections.
+    pub fn total_delivered_bytes(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|c| c.conn.stats.delivered_bytes)
+            .sum()
+    }
+
+    fn cc_index(&self, conn: ConnId, path: u32) -> usize {
+        if self.config.per_path_cc {
+            let _ = conn;
+            path as usize
+        } else {
+            0
+        }
+    }
+
+    /// Pump as many packets as the window allows on `conn`.
+    fn pump(&mut self, conn_id: ConnId) {
+        let now = self.now();
+        let mtu = self.config.mtu;
+        let per_path = self.config.per_path_cc;
+        let rto = self.config.rto;
+
+        let pace = self.config.pace_gbps;
+        loop {
+            let rt = &mut self.conns[conn_id.0 as usize];
+            let Some(&pkt) = rt.conn.unsent.front() else {
+                break;
+            };
+            // Egress pacing gate: wait for the rate limiter.
+            if pace.is_some() && rt.pace_until > now {
+                if !rt.pace_scheduled {
+                    rt.pace_scheduled = true;
+                    let at = rt.pace_until;
+                    self.queue.schedule(at, Ev::Pace { conn: conn_id });
+                }
+                break;
+            }
+            // Shared-CCC window gate.
+            if !per_path && !rt.ccs[0].can_send(rt.conn.inflight_bytes, pkt.bytes) {
+                break;
+            }
+            // Path choice, gated per path when each path has its own CCC.
+            let path = {
+                let ConnRuntime { selector, ccs, .. } = rt;
+                // Snapshot per-path inflight before the mutable select call.
+                let inflight_pkts: Vec<u64> = if per_path {
+                    (0..selector.num_paths())
+                        .map(|p| selector.path(p).inflight_packets)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let allowed = |p: u32| -> bool {
+                    if !per_path {
+                        return true;
+                    }
+                    ccs[p as usize].can_send(inflight_pkts[p as usize] * mtu, mtu)
+                };
+                match selector.select_at(now, None, &allowed) {
+                    Some(p) => p,
+                    None => break,
+                }
+            };
+
+            rt.conn.unsent.pop_front();
+            let seq = rt.conn.next_seq();
+            rt.conn.inflight.insert(
+                seq,
+                InflightPacket {
+                    msg: pkt.msg,
+                    idx: pkt.idx,
+                    bytes: pkt.bytes,
+                    path,
+                    sent_at: now,
+                    retx: 0,
+                },
+            );
+            rt.conn.inflight_bytes += pkt.bytes;
+            rt.conn.stats.sent_packets += 1;
+            if let Some(rate) = pace {
+                let start = if rt.pace_until > now { rt.pace_until } else { now };
+                rt.pace_until = start + stellar_sim::transmit_time(pkt.bytes, rate);
+            }
+            let (src, dst) = (rt.conn.src, rt.conn.dst);
+
+            let delivery =
+                self.network
+                    .send(now, src, dst, conn_id.0 as u64, path, pkt.bytes);
+            if let Delivery::Delivered { at, ecn } = delivery {
+                self.queue.schedule(
+                    at,
+                    Ev::Deliver {
+                        conn: conn_id,
+                        seq,
+                        ecn,
+                    },
+                );
+            }
+            self.queue.schedule(
+                now + rto,
+                Ev::Rto {
+                    conn: conn_id,
+                    seq,
+                    epoch: 0,
+                },
+            );
+        }
+    }
+
+    fn handle_deliver(&mut self, conn_id: ConnId, seq: u64, ecn: bool) {
+        let now = self.now();
+        let rt = &mut self.conns[conn_id.0 as usize];
+        let Some(&pkt) = rt.conn.inflight.get(&seq) else {
+            // Already ACKed via a retransmitted copy; stale delivery.
+            return;
+        };
+        let msg = rt
+            .conn
+            .messages
+            .get_mut(&pkt.msg)
+            .expect("inflight packet references a live message");
+        if msg.place_packet(pkt.idx) {
+            rt.conn.stats.delivered_packets += 1;
+            rt.conn.stats.delivered_bytes += pkt.bytes;
+            if msg.fully_received() && msg.completed_at.is_none() {
+                msg.completed_at = Some(now);
+                rt.conn.stats.completed_messages += 1;
+                self.completions.push((conn_id, pkt.msg));
+            }
+        }
+        // ACK travels back on the prioritized control path.
+        let at = now + rt.ack_delay;
+        self.queue.schedule(
+            at,
+            Ev::Ack {
+                conn: conn_id,
+                seq,
+                ecn,
+            },
+        );
+    }
+
+    fn handle_ack(&mut self, conn_id: ConnId, seq: u64, ecn: bool) {
+        let now = self.now();
+        
+        let (path, rtt, bytes);
+        {
+            let rt = &mut self.conns[conn_id.0 as usize];
+            let Some(pkt) = rt.conn.inflight.remove(&seq) else {
+                return; // duplicate ACK (original + retransmission)
+            };
+            rt.conn.inflight_bytes -= pkt.bytes;
+            path = pkt.path;
+            bytes = pkt.bytes;
+            rtt = now.saturating_duration_since(pkt.sent_at);
+            rt.conn.stats.acks += 1;
+            if ecn {
+                rt.conn.stats.ecn_acks += 1;
+            }
+            if let Some(m) = rt.conn.messages.get_mut(&pkt.msg) {
+                m.acked_packets += 1;
+            }
+            rt.selector.on_ack(path, rtt, ecn);
+        }
+        let cc_idx = self.cc_index(conn_id, path);
+        self.conns[conn_id.0 as usize].ccs[cc_idx].on_ack(now, bytes, rtt, ecn);
+        self.pump(conn_id);
+    }
+
+    fn handle_rto(&mut self, conn_id: ConnId, seq: u64, epoch: u32) {
+        let now = self.now();
+        let rto = self.config.rto;
+
+        let (old_path, new_path, bytes, src, dst);
+        {
+            let rt = &mut self.conns[conn_id.0 as usize];
+            let Some(pkt) = rt.conn.inflight.get(&seq) else {
+                return; // ACKed in the meantime
+            };
+            if pkt.retx != epoch {
+                return; // a newer transmission owns the timer
+            }
+            old_path = pkt.path;
+            bytes = pkt.bytes;
+            src = rt.conn.src;
+            dst = rt.conn.dst;
+            rt.conn.stats.rto_events += 1;
+            rt.selector.on_loss(old_path);
+            // Retransmit on a different path for instant recovery.
+            new_path = rt
+                .selector
+                .select_at(now, Some(old_path), &|_| true)
+                .unwrap_or(old_path);
+            let pkt = rt.conn.inflight.get_mut(&seq).unwrap();
+            pkt.retx += 1;
+            pkt.sent_at = now;
+            pkt.path = new_path;
+            rt.conn.stats.retransmits += 1;
+        }
+        let cc_idx = self.cc_index(conn_id, old_path);
+        let share = if self.config.per_path_cc {
+            1.0
+        } else {
+            1.0 / self.config.num_paths as f64
+        };
+        self.conns[conn_id.0 as usize].ccs[cc_idx].on_rto(share);
+
+        let delivery = self
+            .network
+            .send(now, src, dst, conn_id.0 as u64, new_path, bytes);
+        if let Delivery::Delivered { at, ecn } = delivery {
+            self.queue.schedule(
+                at,
+                Ev::Deliver {
+                    conn: conn_id,
+                    seq,
+                    ecn,
+                },
+            );
+        }
+        self.queue.schedule(
+            now + rto,
+            Ev::Rto {
+                conn: conn_id,
+                seq,
+                epoch: epoch + 1,
+            },
+        );
+    }
+
+    /// Process events until the queue drains or the next event is past
+    /// `until`. Completion callbacks run in causal order.
+    pub fn run<A: App>(&mut self, app: &mut A, until: SimTime) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {}
+                _ => break,
+            }
+            let (_, ev) = self.queue.pop().expect("peeked event exists");
+            match ev {
+                Ev::Deliver { conn, seq, ecn } => self.handle_deliver(conn, seq, ecn),
+                Ev::Ack { conn, seq, ecn } => self.handle_ack(conn, seq, ecn),
+                Ev::Rto { conn, seq, epoch } => self.handle_rto(conn, seq, epoch),
+                Ev::Pace { conn } => {
+                    self.conns[conn.0 as usize].pace_scheduled = false;
+                    self.pump(conn);
+                }
+                Ev::AppTimer { token } => app.on_timer(self, token),
+            }
+            while let Some((c, m)) = pop_front(&mut self.completions) {
+                app.on_message_complete(self, c, m);
+            }
+        }
+    }
+
+    /// Run until every connection is idle (or `hard_stop` is reached).
+    pub fn run_to_idle<A: App>(&mut self, app: &mut A, hard_stop: SimTime) {
+        self.run(app, hard_stop);
+    }
+}
+
+fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_net::{ClosConfig, ClosTopology, NetworkConfig};
+
+    fn make_sim(algo: PathAlgo, num_paths: u32, seed: u64) -> TransportSim {
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 4,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 8,
+        });
+        let rng = SimRng::from_seed(seed);
+        let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+        TransportSim::new(
+            network,
+            TransportConfig {
+                algo,
+                num_paths,
+                ..TransportConfig::default()
+            },
+            rng.fork("transport"),
+        )
+    }
+
+    const FOREVER: SimTime = SimTime::from_nanos(u64::MAX / 2);
+
+    #[test]
+    fn single_message_completes() {
+        let mut sim = make_sim(PathAlgo::Obs, 128, 1);
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let conn = sim.add_connection(src, dst);
+        let msg = sim.post_message(conn, 1024 * 1024);
+        sim.run(&mut NoopApp, FOREVER);
+        let done = sim.message_completed_at(conn, msg).expect("completed");
+        assert!(done > SimTime::ZERO);
+        let st = sim.conn_stats(conn);
+        assert_eq!(st.delivered_bytes, 1024 * 1024);
+        assert_eq!(st.completed_messages, 1);
+        assert!(sim.all_idle());
+    }
+
+    #[test]
+    fn throughput_near_line_rate_for_big_transfer() {
+        let mut sim = make_sim(PathAlgo::Obs, 128, 2);
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let conn = sim.add_connection(src, dst);
+        let bytes = 64 * 1024 * 1024u64;
+        let msg = sim.post_message(conn, bytes);
+        sim.run(&mut NoopApp, FOREVER);
+        let done = sim.message_completed_at(conn, msg).unwrap();
+        let gbps = stellar_sim::stats::gbps(bytes, done.duration_since(SimTime::ZERO));
+        // 200 Gbps links; expect well over half of line rate.
+        assert!(gbps > 120.0, "gbps={gbps}");
+    }
+
+    #[test]
+    fn spray_uses_many_paths_single_uses_one() {
+        let mut spray = make_sim(PathAlgo::Obs, 128, 3);
+        let src = spray.network().topology().nic(0, 0);
+        let dst = spray.network().topology().nic(4, 0);
+        let c = spray.add_connection(src, dst);
+        spray.post_message(c, 8 * 1024 * 1024);
+        spray.run(&mut NoopApp, FOREVER);
+        assert!(spray.selector(c).active_paths() > 64);
+
+        let mut single = make_sim(PathAlgo::SinglePath, 128, 3);
+        let c2 = single.add_connection(src, dst);
+        single.post_message(c2, 8 * 1024 * 1024);
+        single.run(&mut NoopApp, FOREVER);
+        assert_eq!(single.selector(c2).active_paths(), 1);
+    }
+
+    #[test]
+    fn loss_is_recovered_by_rto_on_other_paths() {
+        let mut sim = make_sim(PathAlgo::Obs, 128, 4);
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        // 1% loss on one agg uplink used by some paths.
+        let link = sim.network().topology().route(src, dst, 0, 0)[1];
+        sim.network_mut().set_loss(link, 0.01);
+        let conn = sim.add_connection(src, dst);
+        let msg = sim.post_message(conn, 16 * 1024 * 1024);
+        sim.run(&mut NoopApp, FOREVER);
+        assert!(sim.message_completed_at(conn, msg).is_some());
+        let st = sim.conn_stats(conn);
+        assert_eq!(st.delivered_bytes, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn total_link_failure_recovers_via_path_exclusion() {
+        let mut sim = make_sim(PathAlgo::Obs, 128, 5);
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let link = sim.network().topology().route(src, dst, 0, 7)[1];
+        sim.network_mut().set_link_up(link, false);
+        let conn = sim.add_connection(src, dst);
+        let msg = sim.post_message(conn, 4 * 1024 * 1024);
+        sim.run(&mut NoopApp, FOREVER);
+        assert!(sim.message_completed_at(conn, msg).is_some());
+        assert!(sim.conn_stats(conn).retransmits > 0);
+    }
+
+    #[test]
+    fn congestion_marks_shrink_window() {
+        // Many connections into one destination NIC (incast): queues grow,
+        // ECN fires, windows shrink, everything still completes.
+        let mut sim = make_sim(PathAlgo::Obs, 128, 6);
+        let dst = sim.network().topology().nic(0, 0);
+        let mut conns = Vec::new();
+        for h in 1..8 {
+            let src = sim.network().topology().nic(h, 0);
+            let c = sim.add_connection(src, dst);
+            sim.post_message(c, 4 * 1024 * 1024);
+            conns.push(c);
+        }
+        sim.run(&mut NoopApp, FOREVER);
+        let total_ecn: u64 = conns.iter().map(|&c| sim.conn_stats(c).ecn_acks).sum();
+        assert!(total_ecn > 0, "incast must trigger ECN");
+        for &c in &conns {
+            assert_eq!(sim.conn_stats(c).delivered_bytes, 4 * 1024 * 1024);
+        }
+    }
+
+    #[test]
+    fn app_callback_chains_messages() {
+        struct Chain {
+            remaining: u32,
+            completions: u32,
+        }
+        impl App for Chain {
+            fn on_message_complete(&mut self, sim: &mut TransportSim, conn: ConnId, _m: MsgId) {
+                self.completions += 1;
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    sim.post_message(conn, 256 * 1024);
+                }
+            }
+        }
+        let mut sim = make_sim(PathAlgo::RoundRobin, 16, 7);
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let conn = sim.add_connection(src, dst);
+        sim.post_message(conn, 256 * 1024);
+        let mut app = Chain {
+            remaining: 9,
+            completions: 0,
+        };
+        sim.run(&mut app, FOREVER);
+        assert_eq!(app.completions, 10);
+        assert_eq!(sim.conn_stats(conn).completed_messages, 10);
+    }
+
+    #[test]
+    fn per_path_cc_also_completes() {
+        let topo_sim = |per_path: bool| -> u64 {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 2,
+                hosts_per_segment: 2,
+                rails: 1,
+                planes: 2,
+                aggs_per_plane: 2,
+            });
+            let rng = SimRng::from_seed(8);
+            let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+            let mut sim = TransportSim::new(
+                network,
+                TransportConfig {
+                    algo: PathAlgo::Obs,
+                    num_paths: 4,
+                    per_path_cc: per_path,
+                    ..TransportConfig::default()
+                },
+                rng.fork("t"),
+            );
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(2, 0);
+            let c = sim.add_connection(src, dst);
+            sim.post_message(c, 8 * 1024 * 1024);
+            sim.run(&mut NoopApp, FOREVER);
+            sim.conn_stats(c).delivered_bytes
+        };
+        assert_eq!(topo_sim(false), 8 * 1024 * 1024);
+        assert_eq!(topo_sim(true), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn two_sided_send_recv_end_to_end() {
+        let mut sim = make_sim(PathAlgo::Obs, 32, 11);
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let conn = sim.add_connection(src, dst);
+        // RNR before any recv is posted.
+        assert!(matches!(
+            sim.post_send(conn, 4096),
+            Err(crate::conn::SendError::ReceiverNotReady)
+        ));
+        assert_eq!(sim.conn_stats(conn).rnr_naks, 1);
+        // Post receives, then sends flow like writes.
+        sim.post_recv(conn, 1 << 20);
+        sim.post_recv(conn, 1 << 20);
+        let m1 = sim.post_send(conn, 256 * 1024).unwrap();
+        let m2 = sim.post_send(conn, 512 * 1024).unwrap();
+        sim.run(&mut NoopApp, FOREVER);
+        assert!(sim.message_completed_at(conn, m1).is_some());
+        assert!(sim.message_completed_at(conn, m2).is_some());
+        assert_eq!(sim.conn_stats(conn).delivered_bytes, 768 * 1024);
+    }
+
+    #[test]
+    fn pacing_stretches_transmission_to_the_configured_rate() {
+        let run = |pace: Option<f64>| -> u64 {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 1,
+                hosts_per_segment: 2,
+                rails: 1,
+                planes: 1,
+                aggs_per_plane: 1,
+            });
+            let rng = SimRng::from_seed(3);
+            let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+            let mut sim = TransportSim::new(
+                network,
+                TransportConfig {
+                    pace_gbps: pace,
+                    ..TransportConfig::default()
+                },
+                rng.fork("t"),
+            );
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(1, 0);
+            let conn = sim.add_connection(src, dst);
+            let msg = sim.post_message(conn, 4 * 1024 * 1024);
+            sim.run(&mut NoopApp, FOREVER);
+            sim.message_completed_at(conn, msg).unwrap().as_nanos()
+        };
+        let unpaced = run(None);
+        let paced_50g = run(Some(50.0));
+        // 4 MB at 50 Gbps ≈ 671 µs; the unpaced transfer rides the
+        // 200 Gbps link.
+        assert!(paced_50g > unpaced * 2, "paced {paced_50g} unpaced {unpaced}");
+        let expect_ns = 4.0 * 1024.0 * 1024.0 * 8.0 / 50.0;
+        let ratio = paced_50g as f64 / expect_ns;
+        assert!((0.9..1.3).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn flowlet_transport_completes_and_uses_multiple_paths() {
+        let mut sim = make_sim(
+            PathAlgo::Flowlet {
+                gap: SimDuration::from_micros(20),
+            },
+            64,
+            12,
+        );
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let conn = sim.add_connection(src, dst);
+        // Several messages with idle gaps between them -> several flowlets.
+        struct Gapped {
+            remaining: u32,
+        }
+        impl App for Gapped {
+            fn on_message_complete(&mut self, sim: &mut TransportSim, _c: ConnId, _m: MsgId) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    let at = sim.now() + SimDuration::from_micros(100);
+                    sim.schedule_timer(at, 0);
+                }
+            }
+            fn on_timer(&mut self, sim: &mut TransportSim, _t: u64) {
+                sim.post_message(ConnId(0), 256 * 1024);
+            }
+        }
+        sim.post_message(conn, 256 * 1024);
+        let mut app = Gapped { remaining: 12 };
+        sim.run(&mut app, FOREVER);
+        assert_eq!(sim.conn_stats(conn).completed_messages, 13);
+        let active = sim.selector(conn).active_paths();
+        assert!(active > 3, "flowlets must spread: {active}");
+    }
+
+    #[test]
+    fn latency_histogram_reflects_message_sizes() {
+        let mut sim = make_sim(PathAlgo::Obs, 32, 13);
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let conn = sim.add_connection(src, dst);
+        for _ in 0..4 {
+            sim.post_message(conn, 16 * 1024);
+        }
+        sim.run(&mut NoopApp, FOREVER);
+        sim.post_message(conn, 8 * 1024 * 1024);
+        sim.run(&mut NoopApp, FOREVER);
+        let mut h = sim.message_latency_histogram(conn);
+        assert_eq!(h.count(), 5);
+        // The big message is the tail.
+        let p50 = h.p50().unwrap();
+        let max = h.max().unwrap();
+        assert!(max > p50 * 10, "p50={p50} max={max}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || -> (u64, u64, u64) {
+            let mut sim = make_sim(PathAlgo::Obs, 128, 42);
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(4, 0);
+            let conn = sim.add_connection(src, dst);
+            let msg = sim.post_message(conn, 8 * 1024 * 1024);
+            sim.run(&mut NoopApp, FOREVER);
+            let st = sim.conn_stats(conn);
+            (
+                sim.message_completed_at(conn, msg).unwrap().as_nanos(),
+                st.sent_packets,
+                st.ecn_acks,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: boot a RunD secure container, attach a vStellar device,
+//! register memory on demand with PVDMA, and issue RDMA/GDR writes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use stellar::core::server::{RnicId, ServerConfig, StellarServer};
+use stellar::core::vstellar::VStellarStack;
+use stellar::pcie::addr::Gva;
+use stellar::virt::rund::MemoryStrategy;
+
+const MB: u64 = 1024 * 1024;
+
+fn main() {
+    // A GPU server: 4 PCIe switches, one 400G RNIC + 2 GPUs each.
+    let mut server = StellarServer::new(ServerConfig::default());
+
+    // Boot a 64 GiB secure container with PVDMA (no upfront pinning).
+    let (container, boot) = server.boot_container(64 * 1024 * MB, MemoryStrategy::Pvdma);
+    println!(
+        "container booted in {} (hypervisor {}, memory pin {})",
+        boot.total, boot.hypervisor_setup, boot.memory_pin
+    );
+
+    // Create a vStellar device on RNIC 0 — seconds, not minutes.
+    let stack = VStellarStack::new();
+    let (device, create_time) = stack
+        .create_device(&mut server, container, RnicId(0))
+        .expect("device creation");
+    println!("vStellar device ready in {create_time} (doorbell at {:?})", device.doorbell);
+
+    // Register a host-memory region: PVDMA pins exactly the touched
+    // 2 MiB blocks, the eMTT records per-page ownership.
+    let (host_mr, reg_time) = stack
+        .register_mr_host(&mut server, &device, Gva(16 * MB), 8 * MB)
+        .expect("MR registration");
+    println!(
+        "8 MiB host MR registered in {reg_time}; {} bytes pinned total",
+        server.fabric().iommu().pinned_bytes()
+    );
+
+    // And a GPU region for GDR.
+    let gpu = server.gpus_under(RnicId(0))[0];
+    let (gpu_mr, _) = stack
+        .register_mr_gpu(&mut server, &device, Gva(1 << 30), gpu, 0, 64 * MB)
+        .expect("GPU MR registration");
+
+    // Connect a QP and write.
+    let (qp, _) = stack.create_qp(&mut server, &device).expect("QP");
+    let rdma = stack
+        .write(&mut server, &device, qp, host_mr, Gva(16 * MB), 4 * MB)
+        .expect("RDMA write");
+    println!(
+        "RDMA write: {} bytes in {} ({:.1} Gbps, {} pages via root complex)",
+        rdma.bytes, rdma.elapsed, rdma.gbps, rdma.rc_pages
+    );
+
+    let gdr = stack
+        .write(&mut server, &device, qp, gpu_mr, Gva(1 << 30), 64 * MB)
+        .expect("GDR write");
+    println!(
+        "GDR write:  {} bytes in {} ({:.1} Gbps, {} pages peer-to-peer — eMTT bypassed the RC)",
+        gdr.bytes, gdr.elapsed, gdr.gbps, gdr.p2p_pages
+    );
+
+    // Completions arrive on the device's directly-mapped CQ.
+    let wcs = stack.poll_cq(&mut server, &device, 16).expect("poll CQ");
+    println!(
+        "polled {} work completions ({} bytes total)",
+        wcs.len(),
+        wcs.iter().map(|w| w.bytes).sum::<u64>()
+    );
+}

@@ -1,0 +1,90 @@
+//! GDR from secure containers across three virtualization generations:
+//! SR-IOV VF + VFIO (incl. the switch-LUT wall), HyV/MasQ (RC-bound), and
+//! vStellar (eMTT).
+//!
+//! ```sh
+//! cargo run --example secure_container_gdr
+//! ```
+
+use stellar::core::baseline::{BaselineKind, BaselineStack};
+use stellar::core::server::{RnicId, ServerConfig, StellarServer};
+use stellar::core::vstellar::VStellarStack;
+use stellar::pcie::addr::Gva;
+use stellar::virt::rund::MemoryStrategy;
+
+const MB: u64 = 1024 * 1024;
+
+fn main() {
+    // --- Legacy: SR-IOV VFs hit the PCIe switch LUT wall. -------------
+    let mut server = StellarServer::new(ServerConfig::default());
+    let (container, boot) = server.boot_container(8 * 1024 * MB, MemoryStrategy::FullPin);
+    println!(
+        "[VF+VFIO]   container boot: {} (all memory pinned up front)",
+        boot.total
+    );
+    server
+        .rnic_mut(RnicId(0))
+        .vdevs
+        .set_vf_count(63)
+        .expect("static VF pool sized at host startup");
+    let mut vf_stack = BaselineStack::new(BaselineKind::VfVxlan);
+    let mut gdr_ok = 0;
+    let mut gdr_blocked = 0;
+    for _ in 0..40 {
+        let dev = vf_stack
+            .attach_device(&mut server, container, RnicId(0))
+            .expect("attach VF");
+        if dev.gdr_enabled {
+            gdr_ok += 1;
+        } else {
+            gdr_blocked += 1;
+        }
+    }
+    println!(
+        "[VF+VFIO]   40 VFs attached: {gdr_ok} GDR-capable, {gdr_blocked} blocked by the 32-entry switch LUT"
+    );
+
+    // --- HyV/MasQ: para-virtual but GDR squeezes through the RC. ------
+    let mut hyv_stack = BaselineStack::new(BaselineKind::HyvMasq);
+    let dev = hyv_stack
+        .attach_device(&mut server, container, RnicId(1))
+        .expect("attach");
+    let gpu = server.gpus_under(RnicId(1))[0];
+    let (mr, _) = hyv_stack
+        .register_mr_gpu(&mut server, &dev, Gva(1 << 30), gpu, 0, 64 * MB)
+        .expect("register");
+    let rep = hyv_stack
+        .write(&mut server, &dev, mr, Gva(1 << 30), 64 * MB)
+        .expect("write");
+    println!(
+        "[HyV/MasQ]  GDR write: {:.1} Gbps ({} of {} pages detoured through the root complex)",
+        rep.gbps, rep.rc_pages, rep.pages
+    );
+
+    // --- Stellar: vStellar device + PVDMA + eMTT. ----------------------
+    let mut server2 = StellarServer::new(ServerConfig::default());
+    let (container2, boot2) = server2.boot_container(8 * 1024 * MB, MemoryStrategy::Pvdma);
+    println!("[vStellar]  container boot: {} (no upfront pinning)", boot2.total);
+    let stack = VStellarStack::new();
+    let (dev2, t) = stack
+        .create_device(&mut server2, container2, RnicId(0))
+        .expect("create");
+    let gpu2 = server2.gpus_under(RnicId(0))[0];
+    let (mr2, _) = stack
+        .register_mr_gpu(&mut server2, &dev2, Gva(1 << 30), gpu2, 0, 64 * MB)
+        .expect("register");
+    let (qp, _) = stack.create_qp(&mut server2, &dev2).expect("qp");
+    let rep2 = stack
+        .write(&mut server2, &dev2, qp, mr2, Gva(1 << 30), 64 * MB)
+        .expect("write");
+    println!(
+        "[vStellar]  device in {t}; GDR write: {:.1} Gbps ({} pages peer-to-peer, 0 via RC)",
+        rep2.gbps, rep2.p2p_pages
+    );
+    println!();
+    println!(
+        "Summary: vStellar delivers {:.1}x the GDR bandwidth of HyV/MasQ and never",
+        rep2.gbps / rep.gbps
+    );
+    println!("touches the switch LUT — every one of 64k devices can use GDR.");
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the whole Stellar reproduction workspace.
+pub use stellar_core as core;
+pub use stellar_net as net;
+pub use stellar_pcie as pcie;
+pub use stellar_rnic as rnic;
+pub use stellar_sim as sim;
+pub use stellar_transport as transport;
+pub use stellar_virt as virt;
+pub use stellar_workloads as workloads;

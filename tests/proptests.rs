@@ -1,0 +1,165 @@
+//! Cross-crate property-based tests (proptest) on the invariants
+//! DESIGN.md commits to.
+
+use proptest::prelude::*;
+
+use stellar::net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
+use stellar::pcie::addr::{Gpa, Hpa, PAGE_4K};
+use stellar::pcie::iommu::{Iommu, IommuConfig};
+use stellar::pcie::Iova;
+use stellar::transport::{NoopApp, PathAlgo, TransportConfig, TransportSim};
+use stellar::virt::hypervisor::{Hypervisor, HypervisorConfig};
+use stellar::virt::pvdma::{Pvdma, PvdmaConfig};
+use stellar::workloads::allreduce::{AllReduceJob, AllReduceRunner};
+use stellar_sim::{SimRng, SimTime};
+
+const FOREVER: SimTime = SimTime::from_nanos(u64::MAX / 2);
+
+fn algo_strategy() -> impl Strategy<Value = PathAlgo> {
+    prop_oneof![
+        Just(PathAlgo::SinglePath),
+        Just(PathAlgo::RoundRobin),
+        Just(PathAlgo::Obs),
+        Just(PathAlgo::Dwrr),
+        Just(PathAlgo::BestRtt),
+        Just(PathAlgo::MpRdma),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm, any path count, any message size: the message is
+    /// delivered exactly once, in full, and the sim goes idle.
+    #[test]
+    fn any_transport_config_delivers_exactly_once(
+        algo in algo_strategy(),
+        paths in 1u32..=160,
+        kb in 1u64..=2048,
+        seed in 0u64..1000,
+    ) {
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 3,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 4,
+        });
+        let rng = SimRng::from_seed(seed);
+        let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+        let mut sim = TransportSim::new(
+            network,
+            TransportConfig { algo, num_paths: paths, ..TransportConfig::default() },
+            rng.fork("t"),
+        );
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(3, 0);
+        let conn = sim.add_connection(src, dst);
+        let bytes = kb * 1024;
+        let msg = sim.post_message(conn, bytes);
+        sim.run(&mut NoopApp, FOREVER);
+        prop_assert!(sim.message_completed_at(conn, msg).is_some());
+        let st = sim.conn_stats(conn);
+        prop_assert_eq!(st.delivered_bytes, bytes);
+        prop_assert_eq!(st.completed_messages, 1);
+        prop_assert!(sim.all_idle());
+    }
+
+    /// Under arbitrary loss, spraying still delivers everything exactly
+    /// once (RTO + path exclusion recovery).
+    #[test]
+    fn lossy_fabric_still_delivers_exactly_once(
+        loss_pct in 0u32..=10,
+        seed in 0u64..500,
+    ) {
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 2,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 4,
+        });
+        let rng = SimRng::from_seed(seed);
+        let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+        let mut sim = TransportSim::new(
+            network,
+            TransportConfig {
+                algo: PathAlgo::Obs,
+                num_paths: 64,
+                ..TransportConfig::default()
+            },
+            rng.fork("t"),
+        );
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(2, 0);
+        let lossy = sim.network().topology().route(src, dst, 0, 0)[1];
+        sim.network_mut().set_loss(lossy, loss_pct as f64 / 100.0);
+        let conn = sim.add_connection(src, dst);
+        let msg = sim.post_message(conn, 512 * 1024);
+        sim.run(&mut NoopApp, FOREVER);
+        prop_assert!(sim.message_completed_at(conn, msg).is_some());
+        prop_assert_eq!(sim.conn_stats(conn).delivered_bytes, 512 * 1024);
+    }
+
+    /// Ring AllReduce with an arbitrary ring subset completes every
+    /// iteration regardless of ring size or payload.
+    #[test]
+    fn allreduce_always_converges(
+        ranks in 2usize..=8,
+        data_kb in 8u64..=512,
+        seed in 0u64..200,
+    ) {
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 4,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 4,
+        });
+        let rng = SimRng::from_seed(seed);
+        let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+        let mut sim = TransportSim::new(
+            network,
+            TransportConfig::default(),
+            rng.fork("t"),
+        );
+        let nics: Vec<NicId> = (0..ranks)
+            .map(|r| sim.network().topology().nic(r, 0))
+            .collect();
+        let mut runner = AllReduceRunner::new(&mut sim, vec![AllReduceJob {
+            nics,
+            data_bytes: data_kb * 1024,
+            iterations: 2,
+            burst: None,
+        }]);
+        runner.start(&mut sim);
+        sim.run(&mut runner, FOREVER);
+        prop_assert!(runner.all_finished());
+        let rep = runner.report(0);
+        prop_assert_eq!(rep.iterations.len(), 2);
+        // Iterations are properly ordered in time.
+        prop_assert!(rep.iterations[0].finished <= rep.iterations[1].started);
+    }
+
+    /// PVDMA keeps the IOMMU consistent with the guest as long as no
+    /// device register shares a block with RAM (the safe configuration).
+    #[test]
+    fn pvdma_is_consistent_without_register_aliasing(
+        touches in proptest::collection::vec((0u64..64, 1u64..=16), 1..20),
+    ) {
+        let mut h = Hypervisor::new(HypervisorConfig::default());
+        h.add_ram(Gpa(0), Hpa(1 << 40), 64 * 2 * 1024 * 1024);
+        let mut iommu = Iommu::new(IommuConfig::default());
+        let mut pvdma = Pvdma::new(PvdmaConfig::default());
+        for (block, pages) in touches {
+            let gpa = Gpa(block * 2 * 1024 * 1024);
+            pvdma.dma_prepare(&h, &mut iommu, gpa, pages * PAGE_4K).unwrap();
+            // Pinned translations match the hypervisor's view.
+            let t = iommu.translate(Iova(gpa.0)).unwrap();
+            let (expect, _) = h.translate(gpa).unwrap();
+            prop_assert_eq!(t.hpa, expect);
+        }
+        let bad = pvdma.check_consistency(&h, &mut iommu, Gpa(0), 64 * 2 * 1024 * 1024);
+        prop_assert!(bad.is_empty());
+    }
+}
