@@ -1,137 +1,54 @@
-//! Criterion benches: one group per paper table/figure.
+//! Wall-clock benches: one entry per paper table/figure.
 //!
 //! Each bench runs the corresponding experiment in `quick` mode and
-//! reports its wall-clock cost; the *results* (the figure's rows) come
-//! from the `reproduce` binary, which shares the same runners. Together
-//! they satisfy "a bench target per table and figure" while keeping
-//! criterion's statistics meaningful (stable, seeded workloads).
+//! reports its wall-clock cost as a JSON line (min/median/mean ns); the
+//! *results* (the figure's rows) come from the `reproduce` binary, which
+//! shares the same runners. Together they satisfy "a bench target per
+//! table and figure" while keeping timing meaningful (stable, seeded
+//! workloads). Pass a substring argument to run a subset, e.g.
+//! `cargo bench --bench figures -- fig09`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use stellar_sim::bench_timer::Harness;
 
 use stellar_bench as b;
 
-fn bench_fig06_startup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig06_startup");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig06_startup::run(true)))
+fn main() {
+    let h = Harness::from_args();
+    h.bench("fig06_startup", || {
+        black_box(b::fig06_startup::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig08_atc_miss(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08_atc_miss");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig08_atc::run(true)))
+    h.bench("fig08_atc_miss", || {
+        black_box(b::fig08_atc::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig09_permutation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09_permutation");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig09_permutation::run(true)))
+    h.bench("fig09_permutation", || {
+        black_box(b::fig09_permutation::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig10_background(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_background");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig10_background::run(true)))
+    h.bench("fig10_background", || {
+        black_box(b::fig10_background::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig11_failures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_failures");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig11_failures::run(true)))
+    h.bench("fig11_failures", || {
+        black_box(b::fig11_failures::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig12_imbalance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_imbalance");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig12_imbalance::run(true)))
+    h.bench("fig12_imbalance", || {
+        black_box(b::fig12_imbalance::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig13_micro(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13_micro");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig13_micro::run(true)))
+    h.bench("fig13_micro", || {
+        black_box(b::fig13_micro::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig14_gdr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14_gdr");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig14_gdr::run(true)))
+    h.bench("fig14_gdr", || {
+        black_box(b::fig14_gdr::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig15_virt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig15_virt_e2e");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig15_virt::run(true)))
+    h.bench("fig15_virt_e2e", || {
+        black_box(b::fig15_virt::run(true));
     });
-    g.finish();
-}
-
-fn bench_fig16_llm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig16_llm_training");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::fig16_llm::run(true)))
+    h.bench("fig16_llm_training", || {
+        black_box(b::fig16_llm::run(true));
     });
-    g.finish();
-}
-
-fn bench_table1_comm_ratio(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_comm_ratio");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::table1_comm::run(true)))
+    h.bench("table1_comm_ratio", || {
+        black_box(b::table1_comm::run(true));
     });
-    g.finish();
-}
-
-fn bench_claims(c: &mut Criterion) {
-    let mut g = c.benchmark_group("section4_claims");
-    g.sample_size(10);
-    g.bench_function("sweep", |bencher| {
-        bencher.iter(|| black_box(b::claims::run(true)))
+    h.bench("section4_claims", || {
+        black_box(b::claims::run(true));
     });
-    g.finish();
 }
-
-criterion_group!(
-    figures,
-    bench_fig06_startup,
-    bench_fig08_atc_miss,
-    bench_fig09_permutation,
-    bench_fig10_background,
-    bench_fig11_failures,
-    bench_fig12_imbalance,
-    bench_fig13_micro,
-    bench_fig14_gdr,
-    bench_fig15_virt,
-    bench_fig16_llm,
-    bench_table1_comm_ratio,
-    bench_claims,
-);
-criterion_main!(figures);

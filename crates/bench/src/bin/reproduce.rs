@@ -11,6 +11,7 @@
 //! EXPERIMENTS.md).
 
 use stellar_bench as b;
+use stellar_sim::json::rows_to_json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,7 +35,7 @@ fn main() {
                     println!(
                         "{{\"experiment\":\"{}\",\"rows\":{}}}",
                         $name,
-                        serde_json::to_string(&rows).expect("serializable rows")
+                        rows_to_json(&rows)
                     );
                 } else {
                     b::$module::print(&rows);

@@ -6,13 +6,13 @@
 //!   32-entry switch LUT;
 //! * container initialization 15× faster (covered in depth by Fig. 6).
 
-use serde::{Deserialize, Serialize};
 use stellar_core::vstellar::VStellarStack;
 use stellar_core::{RnicId, ServerConfig, StellarServer};
 use stellar_virt::rund::MemoryStrategy;
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One claim check.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Claim label.
     pub claim: &'static str,
@@ -20,6 +20,16 @@ pub struct Row {
     pub measured: f64,
     /// Paper value.
     pub paper: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("claim", self.claim)
+            .field_f64("measured", self.measured)
+            .field_f64("paper", self.paper)
+            .finish()
+    }
 }
 
 /// Evaluate the claims.

@@ -5,14 +5,14 @@
 //! it stays under 20 s at every size (≥15× speedup), with an ~11 s rise
 //! between 160 GB and 1.6 TB attributable to hypervisor overhead.
 
-use serde::{Deserialize, Serialize};
 use stellar_core::{ServerConfig, StellarServer};
 use stellar_pcie::addr::PAGE_2M;
 use stellar_pcie::iommu::IommuConfig;
 use stellar_virt::rund::MemoryStrategy;
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar pair of Fig. 6.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Container memory in GiB.
     pub memory_gib: u64,
@@ -22,6 +22,17 @@ pub struct Row {
     pub pvdma_s: f64,
     /// Speedup.
     pub speedup: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_u64("memory_gib", self.memory_gib)
+            .field_f64("full_pin_s", self.full_pin_s)
+            .field_f64("pvdma_s", self.pvdma_s)
+            .field_f64("speedup", self.speedup)
+            .finish()
+    }
 }
 
 /// Run the experiment. `quick` skips nothing here — it is cheap.

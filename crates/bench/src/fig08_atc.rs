@@ -9,7 +9,6 @@
 //! Cache capacities are scaled so the cliffs land at the paper's message
 //! sizes: ATC reach = 16 × 2 MB, IOTLB reach = 16 × 16 MB.
 
-use serde::{Deserialize, Serialize};
 use stellar_core::{RnicId, ServerConfig, StellarServer};
 use stellar_pcie::addr::Gva;
 use stellar_pcie::ats::AtcConfig;
@@ -17,12 +16,13 @@ use stellar_pcie::iommu::IommuConfig;
 use stellar_pcie::{Hpa, Iova};
 use stellar_rnic::dma::{RnicDataPathConfig, TranslationMode};
 use stellar_rnic::verbs::{AccessFlags, MrKey};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 const MB: u64 = 1024 * 1024;
 const CONNS: usize = 16;
 
 /// One x-position of Fig. 8.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Per-connection message size in bytes.
     pub msg_bytes: u64,
@@ -32,6 +32,17 @@ pub struct Row {
     pub vstellar_gbps: f64,
     /// ATC hit ratio during the measured round (CX6).
     pub atc_hit_ratio: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_u64("msg_bytes", self.msg_bytes)
+            .field_f64("cx6_gbps", self.cx6_gbps)
+            .field_f64("vstellar_gbps", self.vstellar_gbps)
+            .field_f64("atc_hit_ratio", self.atc_hit_ratio)
+            .finish()
+    }
 }
 
 fn atc_rig(port_gbps: f64) -> StellarServer {

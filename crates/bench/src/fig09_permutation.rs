@@ -5,14 +5,14 @@
 //! except BestRTT and single-path converge, and both average and maximum
 //! queue depths drop markedly versus 4 paths.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::ClosConfig;
 use stellar_sim::SimDuration;
 use stellar_transport::{PathAlgo, TransportConfig};
 use stellar_workloads::permutation::{run_permutation, PermutationConfig};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar of Fig. 9.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Algorithm name.
     pub algo: &'static str,
@@ -24,6 +24,18 @@ pub struct Row {
     pub max_queue_kb: f64,
     /// Aggregate goodput, Gbps.
     pub goodput_gbps: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("algo", self.algo)
+            .field_u64("paths", self.paths as u64)
+            .field_f64("avg_queue_kb", self.avg_queue_kb)
+            .field_f64("max_queue_kb", self.max_queue_kb)
+            .field_f64("goodput_gbps", self.goodput_gbps)
+            .finish()
+    }
 }
 
 /// All (algorithm, path-count) combinations of the figure.

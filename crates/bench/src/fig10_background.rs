@@ -6,14 +6,14 @@
 //! under static background; under bursty background 128 paths mitigate
 //! the interference, with OBS the most resilient.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::{PathAlgo, TransportConfig, TransportSim};
 use stellar_workloads::allreduce::{AllReduceJob, AllReduceRunner, BurstSchedule};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar of Fig. 10.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Algorithm.
     pub algo: &'static str,
@@ -23,6 +23,17 @@ pub struct Row {
     pub background: &'static str,
     /// Probe job mean bus bandwidth, GB/s.
     pub probe_busbw_gbs: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("algo", self.algo)
+            .field_u64("paths", self.paths as u64)
+            .field_str("background", self.background)
+            .field_f64("probe_busbw_gbs", self.probe_busbw_gbs)
+            .finish()
+    }
 }
 
 fn run_one(

@@ -6,14 +6,14 @@
 //! perceived packet loss rate ... by a factor of 128"), while single-path
 //! flows pinned to the lossy link suffer repeated RTOs.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
 use stellar_sim::{SimRng, SimTime};
 use stellar_transport::{PathAlgo, TransportConfig, TransportSim};
 use stellar_workloads::allreduce::{AllReduceJob, AllReduceRunner};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar of Fig. 11.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Algorithm.
     pub algo: &'static str,
@@ -25,6 +25,18 @@ pub struct Row {
     pub relative_busbw: f64,
     /// RTO events observed.
     pub rto_events: u64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("algo", self.algo)
+            .field_u64("paths", self.paths as u64)
+            .field_f64("loss", self.loss)
+            .field_f64("relative_busbw", self.relative_busbw)
+            .field_u64("rto_events", self.rto_events)
+            .finish()
+    }
 }
 
 fn run_one(algo: PathAlgo, paths: u32, loss: f64, quick: bool) -> (f64, u64) {

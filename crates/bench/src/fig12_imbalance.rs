@@ -5,18 +5,27 @@
 //! Ideal balance appears only once the path count reaches ~128, enough to
 //! uniformly cover the 60 aggregation switches.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig};
 use stellar_sim::{SimRng, SimTime};
 use stellar_transport::{NoopApp, PathAlgo, TransportConfig, TransportSim};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One x-position of Fig. 12.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Paths per connection.
     pub paths: u32,
     /// Max-min load delta as a percentage of the busiest port.
     pub imbalance_pct: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_u64("paths", self.paths as u64)
+            .field_f64("imbalance_pct", self.imbalance_pct)
+            .finish()
+    }
 }
 
 fn run_one(paths: u32, quick: bool) -> f64 {

@@ -2,11 +2,11 @@
 //! throughput (b) across message sizes, for vStellar vs bare-metal
 //! Stellar vs the VF+VxLAN CX7 baseline.
 
-use serde::{Deserialize, Serialize};
 use stellar_core::perftest::{perftest_point, StackKind};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One x-position of Fig. 13 for one stack.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Stack name.
     pub stack: &'static str,
@@ -16,6 +16,17 @@ pub struct Row {
     pub latency_us: f64,
     /// Throughput, Gbps.
     pub gbps: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("stack", self.stack)
+            .field_u64("msg_bytes", self.msg_bytes)
+            .field_f64("latency_us", self.latency_us)
+            .field_f64("gbps", self.gbps)
+            .finish()
+    }
 }
 
 /// Message sizes swept (2 B → 8 MB in powers of two, thinned for speed).

@@ -5,11 +5,11 @@
 //! because its GDR traffic detours through the PCIe Root Complex;
 //! vStellar and bare-metal Stellar coincide.
 
-use serde::{Deserialize, Serialize};
 use stellar_core::perftest::{perftest_point, StackKind};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One x-position of Fig. 14 for one stack.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Stack name.
     pub stack: &'static str,
@@ -17,6 +17,16 @@ pub struct Row {
     pub msg_bytes: u64,
     /// GDR write throughput, Gbps.
     pub gbps: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("stack", self.stack)
+            .field_u64("msg_bytes", self.msg_bytes)
+            .field_f64("gbps", self.gbps)
+            .finish()
+    }
 }
 
 /// Sizes swept.

@@ -9,12 +9,12 @@
 //! times match. We verify that by simulating the same job twice with the
 //! data-path parameters of each container type.
 
-use serde::{Deserialize, Serialize};
 use stellar_transport::PathAlgo;
 use stellar_workloads::llm::{simulate_training_step, Placement, TrainingSimConfig};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar pair of Fig. 15.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Model/job label.
     pub job: &'static str,
@@ -24,6 +24,17 @@ pub struct Row {
     pub secure_ms: f64,
     /// Relative difference.
     pub overhead: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("job", self.job)
+            .field_f64("regular_ms", self.regular_ms)
+            .field_f64("secure_ms", self.secure_ms)
+            .field_f64("overhead", self.overhead)
+            .finish()
+    }
 }
 
 /// Run the comparison for a few job shapes.

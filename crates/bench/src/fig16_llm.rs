@@ -6,12 +6,12 @@
 //! +0.72% on average; random ranking exposes the transport, and Stellar
 //! gains 6% on average with a 14% maximum.
 
-use serde::{Deserialize, Serialize};
 use stellar_transport::PathAlgo;
 use stellar_workloads::llm::{simulate_training_step, Placement, TrainingSimConfig};
+use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One x-position of Fig. 16.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Parallel configuration label "(tp,pp,dp,ep)".
     pub config: &'static str,
@@ -23,6 +23,18 @@ pub struct Row {
     pub stellar_ms: f64,
     /// Training-speed improvement of Stellar.
     pub speedup: f64,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("config", self.config)
+            .field_str("placement", self.placement)
+            .field_f64("cx7_ms", self.cx7_ms)
+            .field_f64("stellar_ms", self.stellar_ms)
+            .field_f64("speedup", self.speedup)
+            .finish()
+    }
 }
 
 /// The parallel configurations on the x-axis (scaled DP ring sizes).

@@ -9,11 +9,11 @@
 //! | DeepSpeed-Zero1 Llama-2B | — | 17.3% | — |
 //! | DeepSpeed-Zero3 Llama-13B | — | 10.5% | — |
 
-use serde::{Deserialize, Serialize};
 use stellar_workloads::llm::{comm_ratios, LlmJobConfig};
+use stellar_sim::json::{Arr, Obj, ToJsonRow};
 
 /// One row of Table 1, measured and paper-reported.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Job name.
     pub name: &'static str,
@@ -27,6 +27,26 @@ pub struct Row {
     pub pp_pct: Option<f64>,
     /// Paper-reported `(tp, dp, pp)` percentages.
     pub paper: (Option<f64>, f64, Option<f64>),
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("name", self.name)
+            .field_str("parameters", &self.parameters)
+            .field_opt_f64("tp_pct", self.tp_pct)
+            .field_f64("dp_pct", self.dp_pct)
+            .field_opt_f64("pp_pct", self.pp_pct)
+            .field_raw(
+                "paper",
+                &Arr::new()
+                    .push_opt_f64(self.paper.0)
+                    .push_f64(self.paper.1)
+                    .push_opt_f64(self.paper.2)
+                    .finish(),
+            )
+            .finish()
+    }
 }
 
 /// Paper-reported ratios per row.

@@ -2,10 +2,14 @@
 //! experiment's rows serialize to valid JSON with the expected fields.
 
 use stellar_bench as b;
+use stellar_sim::json::{self, ToJsonRow, Value};
 
-fn to_json<T: serde::Serialize>(rows: &[T]) -> Vec<serde_json::Value> {
-    let json = serde_json::to_string(rows).expect("serialize");
-    serde_json::from_str(&json).expect("valid JSON array")
+fn to_json<T: ToJsonRow>(rows: &[T]) -> Vec<Value> {
+    let rendered = json::rows_to_json(rows);
+    match json::parse(&rendered).expect("valid JSON array") {
+        Value::Arr(vals) => vals,
+        other => panic!("expected a JSON array, got {other:?}"),
+    }
 }
 
 #[test]

@@ -13,7 +13,6 @@
 //!   every data packet is emitted untranslated and squeezes through the
 //!   Root Complex (the 141 Gbps ceiling in Fig. 14).
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::addr::{Address, Bdf, Gva, Hpa, Iova};
 use stellar_pcie::topology::{DeviceId, FabricError};
 use stellar_rnic::dma::{DmaError, DmaReport, TranslationMode};
@@ -26,7 +25,7 @@ use stellar_sim::SimDuration;
 use crate::server::{ContainerId, RnicId, StellarServer};
 
 /// Which legacy stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BaselineKind {
     /// SR-IOV VF + VFIO + VxLAN on a CX6/CX7-style RNIC (ATS/ATC GDR).
     VfVxlan,
@@ -86,7 +85,7 @@ impl std::fmt::Display for BaselineError {
 impl std::error::Error for BaselineError {}
 
 /// A VF (or HyV/MasQ virtual device) attached to a container.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BaselineDevice {
     /// RNIC.
     pub rnic: RnicId,

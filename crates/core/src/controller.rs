@@ -22,7 +22,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
 
 use stellar_rnic::vswitch::{RuleAction, RuleClass, SteeringRule, VSwitchError};
 
@@ -30,7 +29,7 @@ use crate::server::{RnicId, StellarServer};
 
 /// Where the two endpoints of a virtual connection live, relative to each
 /// other.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeerLocation {
     /// Different servers: the normal VxLAN encapsulation path.
     RemoteServer,

@@ -11,7 +11,6 @@
 //! * **HyV/MasQ** — GDR unoptimized, Root-Complex-bound (~36% of
 //!   vStellar's GDR throughput in Fig. 14).
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::addr::Gva;
 use stellar_sim::SimDuration;
 use stellar_virt::rund::MemoryStrategy;
@@ -21,7 +20,7 @@ use crate::server::{RnicId, ServerConfig, StellarServer};
 use crate::vstellar::VStellarStack;
 
 /// The stacks Fig. 13/14 compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StackKind {
     /// Stellar on bare metal (regular container).
     BareMetal,
@@ -34,7 +33,7 @@ pub enum StackKind {
 }
 
 /// One measured point.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PerftestPoint {
     /// Message size in bytes.
     pub msg_bytes: u64,

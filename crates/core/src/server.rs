@@ -18,18 +18,17 @@ use stellar_rnic::verbs::Verbs;
 use stellar_rnic::vswitch::{VSwitch, VSwitchConfig};
 use stellar_virt::rund::{BootReport, MemoryStrategy, RundConfig, RundContainer};
 
-use serde::{Deserialize, Serialize};
 
 /// Index of an RNIC within a server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RnicId(pub usize);
 
 /// Index of a booted container within a server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ContainerId(pub usize);
 
 /// Server composition and data-path parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// PCIe switches (one RNIC per switch).
     pub switches: usize,

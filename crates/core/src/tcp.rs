@@ -11,11 +11,10 @@
 //! the host kernel's TCP stack to DMA through the RNIC's I/O virtual
 //! addresses — a measurable host-TCP throughput penalty.
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::iommu::IommuMode;
 
 /// How TCP reaches the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcpPath {
     /// Legacy: the VF passed through with VFIO (kernel drives it
     /// directly).
@@ -25,7 +24,7 @@ pub enum TcpPath {
 }
 
 /// TCP data-path model parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TcpModel {
     /// Kernel TCP throughput on the bare device, Gbps.
     pub base_gbps: f64,

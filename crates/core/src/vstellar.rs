@@ -10,7 +10,6 @@
 //! exactly the 2 MiB blocks it covers, on demand, and writes **eMTT**
 //! entries carrying the page owner so GDR traffic bypasses the ATC.
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::addr::{Address, Gpa, Gva, Hpa, PAGE_4K};
 use stellar_pcie::topology::DeviceId;
 use stellar_rnic::dma::{DmaError, DmaReport, TranslationMode};
@@ -74,7 +73,7 @@ impl std::fmt::Display for VStellarError {
 impl std::error::Error for VStellarError {}
 
 /// A live vStellar device handed to a container.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct VStellarDevice {
     /// The virtual device id on its RNIC.
     pub vdev: VdevId,

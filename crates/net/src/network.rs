@@ -15,14 +15,13 @@
 //! as packets are injected in global time order, which the transport's
 //! event loop guarantees.
 
-use serde::{Deserialize, Serialize};
 use stellar_sim::stats::Gauge;
 use stellar_sim::{transmit_time, SimDuration, SimRng, SimTime};
 
 use crate::topology::{ClosTopology, LinkId, NicId};
 
 /// Fabric-wide link parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkConfig {
     /// Link rate in Gbps (every port; HPN links are uniform).
     pub link_gbps: f64,
@@ -54,7 +53,7 @@ impl Default for NetworkConfig {
 }
 
 /// Why a packet was lost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropReason {
     /// Tail drop: the egress buffer was full.
     BufferOverflow,
@@ -65,7 +64,7 @@ pub enum DropReason {
 }
 
 /// The fate of one forwarded packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Delivery {
     /// Delivered to the destination NIC.
     Delivered {
@@ -114,7 +113,7 @@ struct LinkState {
 }
 
 /// Per-link statistics snapshot.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkStats {
     /// Total bytes transmitted.
     pub tx_bytes: u64,
@@ -131,7 +130,7 @@ pub struct LinkStats {
 }
 
 /// One traced packet (the fabric's pcap analogue).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceRecord {
     /// Injection time.
     pub sent: SimTime,

@@ -20,22 +20,21 @@
 //! `path_id = const` reproduces classic single-path ECMP and spraying over
 //! 128 path ids approximates uniform coverage of the aggregation layer.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an RNIC endpoint (one NIC of one host).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NicId(pub u32);
 
 /// Identifier of any node (NIC or switch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a directed link (an egress port).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 /// Node classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// An RNIC of a host: `(host, rail)`.
     Nic {
@@ -63,7 +62,7 @@ pub enum NodeKind {
 }
 
 /// Clos topology parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClosConfig {
     /// Network segments (pods).
     pub segments: usize,

@@ -1,33 +1,28 @@
 //! Property tests for topology routing and the link-calendar fabric.
 
-use proptest::prelude::*;
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig};
+use stellar_sim::proptest_lite::{check, Gen};
 use stellar_sim::{SimRng, SimTime};
 
-fn arb_topo() -> impl Strategy<Value = ClosTopology> {
-    (1usize..=3, 2usize..=8, 1usize..=3, 1usize..=2, 1usize..=16).prop_map(
-        |(segments, hosts, rails, planes, aggs)| {
-            ClosTopology::build(ClosConfig {
-                segments,
-                hosts_per_segment: hosts,
-                rails,
-                planes,
-                aggs_per_plane: aggs,
-            })
-        },
-    )
+fn arb_topo(g: &mut Gen) -> ClosTopology {
+    ClosTopology::build(ClosConfig {
+        segments: g.usize(1, 4),
+        hosts_per_segment: g.usize(2, 9),
+        rails: g.usize(1, 4),
+        planes: g.usize(1, 3),
+        aggs_per_plane: g.usize(1, 17),
+    })
 }
 
-proptest! {
-    /// Every route is hop-contiguous, starts at the source NIC, ends at
-    /// the destination NIC, and is 2 or 4 hops long.
-    #[test]
-    fn routes_are_well_formed(
-        topo in arb_topo(),
-        flow in 0u64..1000,
-        path in 0u32..256,
-        pair in (0usize..1000, 0usize..1000),
-    ) {
+/// Every route is hop-contiguous, starts at the source NIC, ends at
+/// the destination NIC, and is 2 or 4 hops long.
+#[test]
+fn routes_are_well_formed() {
+    check("routes_are_well_formed", 256, |g| {
+        let topo = arb_topo(g);
+        let flow = g.u64(0, 1000);
+        let path = g.u32(0, 256);
+        let pair = (g.usize(0, 1000), g.usize(0, 1000));
         let hosts = topo.total_hosts();
         let rails = topo.config().rails;
         let src_h = pair.0 % hosts;
@@ -37,29 +32,30 @@ proptest! {
         let dst = topo.nic(dst_h, rail);
         let route = topo.route(src, dst, flow, path);
         if src == dst {
-            prop_assert!(route.is_empty());
-            return Ok(());
+            assert!(route.is_empty());
+            return;
         }
-        prop_assert!(route.len() == 2 || route.len() == 4, "len={}", route.len());
+        assert!(route.len() == 2 || route.len() == 4, "len={}", route.len());
         let (first_from, _) = topo.link_endpoints(route[0]);
-        prop_assert_eq!(first_from.0, src.0);
+        assert_eq!(first_from.0, src.0);
         let (_, last_to) = topo.link_endpoints(*route.last().unwrap());
-        prop_assert_eq!(last_to.0, dst.0);
+        assert_eq!(last_to.0, dst.0);
         for pair in route.windows(2) {
             let (_, a_to) = topo.link_endpoints(pair[0]);
             let (b_from, _) = topo.link_endpoints(pair[1]);
-            prop_assert_eq!(a_to, b_from);
+            assert_eq!(a_to, b_from);
         }
-    }
+    });
+}
 
-    /// Delivery times are causal (arrival strictly after injection) and
-    /// monotone per port: a later packet on the same (flow, path) never
-    /// arrives before an earlier one.
-    #[test]
-    fn fifo_per_path_ordering(
-        sends in proptest::collection::vec(0u64..100, 1..100),
-        seed in 0u64..100,
-    ) {
+/// Delivery times are causal (arrival strictly after injection) and
+/// monotone per port: a later packet on the same (flow, path) never
+/// arrives before an earlier one.
+#[test]
+fn fifo_per_path_ordering() {
+    check("fifo_per_path_ordering", 128, |g| {
+        let sends = g.vec(1, 100, |g| g.u64(0, 100));
+        let seed = g.u64(0, 100);
         let topo = ClosTopology::build(ClosConfig {
             segments: 2,
             hosts_per_segment: 2,
@@ -77,16 +73,20 @@ proptest! {
             let t = SimTime::from_nanos(now_ns);
             let d = net.send(t, src, dst, 7, 3, 4096);
             let at = d.arrival().expect("lossless fabric delivers");
-            prop_assert!(at > t, "arrival {at} not after send {t}");
-            prop_assert!(at >= last_arrival, "FIFO violated");
+            assert!(at > t, "arrival {at} not after send {t}");
+            assert!(at >= last_arrival, "FIFO violated");
             last_arrival = at;
         }
-    }
+    });
+}
 
-    /// Byte conservation: transmitted bytes per link equal what was sent
-    /// through routes containing that link.
-    #[test]
-    fn link_byte_accounting(packets in 1u64..200, seed in 0u64..50) {
+/// Byte conservation: transmitted bytes per link equal what was sent
+/// through routes containing that link.
+#[test]
+fn link_byte_accounting() {
+    check("link_byte_accounting", 128, |g| {
+        let packets = g.u64(1, 200);
+        let seed = g.u64(0, 50);
         let topo = ClosTopology::build(ClosConfig {
             segments: 2,
             hosts_per_segment: 2,
@@ -106,14 +106,17 @@ proptest! {
         let now = SimTime::from_nanos(packets * 1_000_000 + 1_000_000);
         for link in route {
             let st = net.link_stats(link, now);
-            prop_assert_eq!(st.tx_packets, packets);
-            prop_assert_eq!(st.tx_bytes, packets * 4096);
+            assert_eq!(st.tx_packets, packets);
+            assert_eq!(st.tx_bytes, packets * 4096);
         }
-    }
+    });
+}
 
-    /// A downed link drops everything; bringing it back restores service.
-    #[test]
-    fn link_flap(seed in 0u64..50) {
+/// A downed link drops everything; bringing it back restores service.
+#[test]
+fn link_flap() {
+    check("link_flap", 64, |g| {
+        let seed = g.u64(0, 50);
         let topo = ClosTopology::build(ClosConfig {
             segments: 2,
             hosts_per_segment: 2,
@@ -126,8 +129,14 @@ proptest! {
         let dst = net.topology().nic(2, 0);
         let link = net.topology().route(src, dst, 1, 0)[1];
         net.set_link_up(link, false);
-        prop_assert!(net.send(SimTime::from_nanos(0), src, dst, 1, 0, 64).arrival().is_none());
+        assert!(net
+            .send(SimTime::from_nanos(0), src, dst, 1, 0, 64)
+            .arrival()
+            .is_none());
         net.set_link_up(link, true);
-        prop_assert!(net.send(SimTime::from_nanos(10), src, dst, 1, 0, 64).arrival().is_some());
-    }
+        assert!(net
+            .send(SimTime::from_nanos(10), src, dst, 1, 0, 64)
+            .arrival()
+            .is_some());
+    });
 }

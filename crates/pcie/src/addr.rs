@@ -17,7 +17,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// 4 KiB page size (device-register granularity, GDR worst case in Fig. 8).
 pub const PAGE_4K: u64 = 4 * 1024;
@@ -57,7 +56,6 @@ macro_rules! address_type {
         $(#[$doc])*
         #[derive(
             Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub u64);
 
@@ -126,7 +124,7 @@ impl Gpa {
 /// switch LUT (Problem ③) holds a bounded number of them. Stellar's SFs and
 /// vStellar devices *share* their parent's BDF, which is exactly how they
 /// sidestep the LUT limit.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bdf {
     /// Bus number.
     pub bus: u8,
@@ -161,7 +159,7 @@ impl fmt::Display for Bdf {
 
 /// A half-open `[base, base+len)` range in some address space, used for
 /// BARs and memory regions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Range<A> {
     /// First address in the range.
     pub base: A,

@@ -12,14 +12,13 @@
 //! the CX6 bandwidth decline in Fig. 8. Stellar's eMTT bypasses this cache
 //! entirely.
 
-use serde::{Deserialize, Serialize};
 use stellar_sim::{LruCache, SimDuration};
 
 use crate::addr::{Address, Hpa, Iova};
 use crate::iommu::{Iommu, IommuError};
 
 /// ATC configuration and latency model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AtcConfig {
     /// Capacity in page translations.
     pub capacity: usize,

@@ -11,7 +11,6 @@
 //!   table on IOTLB misses; with large GDR working sets this aggravates
 //!   IOTLB misses (the paper's pcm-iio observation in Fig. 8).
 
-use serde::{Deserialize, Serialize};
 use stellar_sim::{LruCache, SimDuration};
 
 use crate::addr::{Address, Gpa, Hpa, Iova, PAGE_4K};
@@ -19,7 +18,7 @@ use crate::paging::{PageTable, PagingError};
 
 /// Host kernel IOMMU operating mode (the `iommu=pt` / `nopt` boot flag from
 /// Problem ④).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IommuMode {
     /// `pt` (passthrough): device addresses are used as physical addresses
     /// for host-owned devices; no translation overhead, but incompatible
@@ -31,7 +30,7 @@ pub enum IommuMode {
 }
 
 /// IOMMU configuration and latency model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IommuConfig {
     /// Operating mode.
     pub mode: IommuMode,

@@ -18,14 +18,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use stellar_sim::SimDuration;
 
 use crate::addr::{Address, Bdf, Hpa, Iova, Range};
 use crate::iommu::{Iommu, IommuError};
 
 /// PCIe TLP Address Translation field (PCIe spec §2.2.4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AtField {
     /// `0b00` — the address is untranslated (an IOVA); the RC must
     /// translate it.
@@ -36,7 +35,7 @@ pub enum AtField {
 }
 
 /// TLP operation kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TlpKind {
     /// Posted memory write.
     MemWrite,
@@ -60,7 +59,7 @@ pub struct Tlp {
 }
 
 /// Endpoint device kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceKind {
     /// A GPU with device memory exposed through its BAR.
     Gpu,
@@ -69,11 +68,11 @@ pub enum DeviceKind {
 }
 
 /// Identifier of an endpoint in the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(pub u32);
 
 /// Identifier of a PCIe switch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SwitchId(pub u32);
 
 /// An endpoint attached to the fabric.
@@ -169,7 +168,7 @@ impl std::fmt::Display for FabricError {
 impl std::error::Error for FabricError {}
 
 /// Fabric latency model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FabricConfig {
     /// One switch traversal.
     pub switch_hop: SimDuration,

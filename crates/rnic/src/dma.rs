@@ -27,7 +27,6 @@
 //! (the CX6/CX7 SR-IOV baseline), and [`TranslationMode::Untranslated`]
 //! (HyV/MasQ, everything through the RC's IOMMU).
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::ats::Atc;
 use stellar_pcie::topology::{AtField, DeviceId, Fabric, FabricError, RoutePath, Tlp, TlpKind};
 use stellar_pcie::{Gva, Hpa};
@@ -37,7 +36,7 @@ use crate::mtt::{MemOwner, Mtt, MttEntry, MttError};
 use crate::verbs::MrKey;
 
 /// How the RNIC resolves MTT output to a routable TLP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TranslationMode {
     /// Stellar's eMTT: the table already holds the final address and the
     /// owner; GPU pages go out pre-translated (AT=0b10).
@@ -51,7 +50,7 @@ pub enum TranslationMode {
 }
 
 /// Data-path configuration of one RNIC.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RnicDataPathConfig {
     /// Port line rate in Gbps (one port).
     pub port_gbps: f64,
@@ -121,7 +120,7 @@ impl std::fmt::Display for DmaError {
 impl std::error::Error for DmaError {}
 
 /// Accounting for one executed DMA operation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DmaReport {
     /// Bytes moved.
     pub bytes: u64,

@@ -7,13 +7,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::addr::{Hpa, Range, PAGE_4K};
 
 use crate::vdev::VdevId;
 
 /// Identifier of an allocated doorbell page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DoorbellId(pub u32);
 
 /// Allocates doorbell pages out of the RNIC BAR window.

@@ -17,7 +17,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use stellar_pcie::addr::{Address, Gva, Hpa, Iova, PAGE_4K};
 use stellar_pcie::topology::DeviceId;
@@ -25,7 +24,7 @@ use stellar_pcie::topology::DeviceId;
 use crate::verbs::MrKey;
 
 /// Who owns a translated page — decides the TLP AT field (Fig. 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemOwner {
     /// Host main memory: emit an untranslated TLP; the RC's IOMMU finishes
     /// the translation.
@@ -36,7 +35,7 @@ pub enum MemOwner {
 }
 
 /// One page's translation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MttEntry {
     /// Legacy MTT: the container driver only knows GVA→GPA; the GPA (as an
     /// IOVA) still needs IOMMU/ATC translation downstream.
@@ -54,7 +53,7 @@ pub enum MttEntry {
 }
 
 /// MTT configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MttConfig {
     /// Translation granularity.
     pub page_size: u64,

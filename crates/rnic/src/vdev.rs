@@ -14,11 +14,10 @@
 //!   destroyed in seconds, share the parent's BDF, minimal memory, up to
 //!   64 k per RNIC.
 
-use serde::{Deserialize, Serialize};
 use stellar_sim::SimDuration;
 
 /// Virtual device kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VdevKind {
     /// SR-IOV Virtual Function.
     Vf,
@@ -29,11 +28,11 @@ pub enum VdevKind {
 }
 
 /// Identifier of a virtual device on one RNIC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VdevId(pub u32);
 
 /// Resource and timing model for virtual device management.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VdevManagerConfig {
     /// Maximum SR-IOV VFs the silicon supports.
     pub max_vfs: usize,
@@ -112,7 +111,7 @@ impl std::fmt::Display for VdevError {
 impl std::error::Error for VdevError {}
 
 /// A live virtual device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Vdev {
     /// Identifier.
     pub id: VdevId,

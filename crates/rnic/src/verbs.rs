@@ -8,28 +8,27 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use stellar_pcie::addr::Gva;
 
 /// Protection-domain identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PdId(pub u32);
 
 /// Memory-region key (the paper's `key=` in Fig. 7; models lkey/rkey).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MrKey(pub u32);
 
 /// Queue-pair identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QpId(pub u32);
 
 /// Completion-queue identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CqId(pub u32);
 
 /// Completion status of a work request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WcStatus {
     /// Success.
     Success,
@@ -40,7 +39,7 @@ pub enum WcStatus {
 }
 
 /// One work completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkCompletion {
     /// Caller-chosen work-request id.
     pub wr_id: u64,
@@ -77,8 +76,7 @@ mod bitflags_lite {
             }
         ) => {
             $(#[$meta])*
-            #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash,
-                     serde::Serialize, serde::Deserialize)]
+            #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
             pub struct $name($ty);
 
             impl $name {
@@ -111,7 +109,7 @@ mod bitflags_lite {
 }
 
 /// Queue-pair state machine (subset of the IBTA states that matter here).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QpState {
     /// Freshly created.
     Reset,
@@ -141,7 +139,7 @@ impl QpState {
 }
 
 /// A registered memory region.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryRegion {
     /// Region key.
     pub key: MrKey,
@@ -163,7 +161,7 @@ impl MemoryRegion {
 }
 
 /// A queue pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueuePair {
     /// QP identifier.
     pub id: QpId,

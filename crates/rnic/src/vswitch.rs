@@ -16,11 +16,10 @@
 //! Stellar removes RDMA from this table entirely (no VFs → no steering
 //! rules for RDMA), which is modelled by simply not installing RDMA rules.
 
-use serde::{Deserialize, Serialize};
 use stellar_sim::SimDuration;
 
 /// Traffic class a rule matches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuleClass {
     /// Kernel-stack traffic (the paper uses TCP as the stand-in for all
     /// non-RDMA traffic).
@@ -30,7 +29,7 @@ pub enum RuleClass {
 }
 
 /// What a matched rule does with the packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuleAction {
     /// Encapsulate in VxLAN with the given source/destination MACs and
     /// forward to the wire.
@@ -47,7 +46,7 @@ pub enum RuleAction {
 }
 
 /// A steering rule: exact-match on `(class, flow_id)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SteeringRule {
     /// Traffic class.
     pub class: RuleClass,
@@ -58,7 +57,7 @@ pub struct SteeringRule {
 }
 
 /// vSwitch capacity and latency model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VSwitchConfig {
     /// Maximum rules the hardware table holds; the host Controller must
     /// dynamically swap rules when tenant state exceeds this.

@@ -12,6 +12,13 @@
 //!   the quantities the paper's figures plot (queue depth, bandwidth,
 //!   latency percentiles, load imbalance).
 //!
+//! The workspace is **zero-dependency by policy** (see DESIGN.md): the
+//! RNG is an in-tree ChaCha8 whose keystream is pinned by golden-value
+//! tests, [`json`] owns the machine-readable output format, and
+//! [`proptest_lite`] / [`bench_timer`] replace the external property-test
+//! and bench harnesses so that results can never drift with a dependency
+//! bump.
+//!
 //! The engine is intentionally synchronous and single-threaded (per the
 //! smoltcp idiom of explicit, poll-driven state machines): determinism and
 //! debuggability matter more here than wall-clock parallelism. Parameter
@@ -32,7 +39,10 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_timer;
 mod cache;
+pub mod json;
+pub mod proptest_lite;
 mod queue;
 mod rng;
 pub mod stats;

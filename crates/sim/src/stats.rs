@@ -10,12 +10,11 @@
 //! * [`TimeSeries`] — `(time, value)` samples for plotted curves.
 //! * [`imbalance`] — the Fig. 12 metric: `(max-min)/capacity` over port loads.
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
 
 /// A monotonically increasing counter.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -46,7 +45,7 @@ impl Counter {
 /// The time-weighted average is what "average queue depth" means in Fig. 9:
 /// the level integrated over time, divided by elapsed time — not the average
 /// of samples taken at arrival instants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Gauge {
     level: u64,
     max: u64,
@@ -120,7 +119,7 @@ impl Gauge {
 /// Samples are stored raw (sorted lazily); experiment sample counts here are
 /// small enough (≤ millions) that exactness is affordable and avoids bucket
 /// resolution artifacts in figure output.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<u64>,
     sorted: bool,
@@ -197,7 +196,7 @@ impl Histogram {
 }
 
 /// A `(time, value)` sample series for plotted curves.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }

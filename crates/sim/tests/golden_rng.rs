@@ -1,0 +1,111 @@
+//! Golden keystream vectors: the exact values `SimRng` must emit, forever.
+//!
+//! Every figure in EXPERIMENTS.md is a function of these streams. If one
+//! of these tests fails, a change to the RNG has silently re-rolled every
+//! experiment — fix the generator, never the constants.
+
+use stellar_sim::SimRng;
+
+/// First 32 `next_u64` outputs of `SimRng::from_seed(0)`.
+const GOLDEN_SEED0: [u64; 32] = [
+    0xbf94d1332d8ee5e8,
+    0x3a738775a6da5a01,
+    0x3d46ff10c143ee06,
+    0x17c6ab23e9f6424f,
+    0x5ce2479b2fb6898b,
+    0x0ae8099f86bff662,
+    0x5f2f09fdc72f90bd,
+    0x95d53efa28e5a01f,
+    0x1131e62b94efaf48,
+    0x9eec7e5517d7a4e4,
+    0xe553e127cd4c18d1,
+    0xb9d551f13505e613,
+    0x0a1ffcc2d28d82a2,
+    0xfc9216baf64a441d,
+    0xb3c61fd54b017931,
+    0xe857b19d23eb502b,
+    0x5a512cb91bfcd6d6,
+    0x029e379944766985,
+    0xca6410bd3c8b61fe,
+    0xa2c1439dbfdc08ce,
+    0x0b1b48bc9b51bc00,
+    0x88613706f73472d7,
+    0x7e63aa459362d706,
+    0x04630a15aee6c4a7,
+    0x285745104d470010,
+    0xe0098b0d0575729d,
+    0xfe536d452eaffde3,
+    0x1195a96bd9c15c54,
+    0x2fd9a984c31b76c0,
+    0x0093931e2d80213e,
+    0x306af4fce9511800,
+    0x3fc03cba03f09f08,
+];
+
+/// First 32 `next_u64` outputs of `SimRng::from_seed(0).fork("tor-3")`.
+const GOLDEN_FORK_TOR3: [u64; 32] = [
+    0x3ff4834fbefc57d2,
+    0x82ab6214ab422425,
+    0x75d7a583e3ea65f6,
+    0xd0c115547dd294fe,
+    0xcbc8257605d29370,
+    0x8d8044b43a709755,
+    0x1510992c20a10f94,
+    0x3907cc7676865022,
+    0x186a5c46ca6699ba,
+    0x50b4bab877e02127,
+    0x9e2a6fc1c0a20f31,
+    0x0213e6c86195bde8,
+    0x05dc23630d369640,
+    0xea85bba09e9fea73,
+    0xeb0acda3becf421f,
+    0x03fc772ba453e316,
+    0x952c636b5cf094d8,
+    0x8a09d2641fcc5da6,
+    0x2ef5c71a2fac6bf4,
+    0x5a564a5ff0d176ef,
+    0x83604047298def1f,
+    0x5ae0984bedc9c47f,
+    0x6e1f0030dc1dab90,
+    0xe1353788d2e57291,
+    0xfa63884310abae5a,
+    0x64d9ef07cc433c60,
+    0xf3dc683b06b4432b,
+    0xebb312ee213628c8,
+    0x0061ac421c5421b9,
+    0x589849a800b5b8bf,
+    0x2a74ce49a53b4373,
+    0x09ebcdef4c562a0c,
+];
+
+#[test]
+fn seed0_keystream_is_pinned() {
+    let mut r = SimRng::from_seed(0);
+    for (i, &want) in GOLDEN_SEED0.iter().enumerate() {
+        assert_eq!(r.next_u64(), want, "seed-0 keystream drifted at output {i}");
+    }
+}
+
+#[test]
+fn fork_tor3_keystream_is_pinned() {
+    let mut r = SimRng::from_seed(0).fork("tor-3");
+    for (i, &want) in GOLDEN_FORK_TOR3.iter().enumerate() {
+        assert_eq!(
+            r.next_u64(),
+            want,
+            "fork(\"tor-3\") keystream drifted at output {i}"
+        );
+    }
+}
+
+#[test]
+fn clone_continues_the_same_stream() {
+    let mut a = SimRng::from_seed(0);
+    for _ in 0..5 {
+        a.next_u64();
+    }
+    let mut b = a.clone();
+    for _ in 0..27 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,13 +1,14 @@
 //! Property tests for the simulation substrate.
 
-use proptest::prelude::*;
+use stellar_sim::proptest_lite::check;
 use stellar_sim::{EventQueue, LruCache, SimRng, SimTime};
 
-proptest! {
-    /// The event queue pops a stable sort of its input: by time, ties by
-    /// insertion order.
-    #[test]
-    fn event_queue_is_a_stable_sort(times in proptest::collection::vec(0u64..50, 0..200)) {
+/// The event queue pops a stable sort of its input: by time, ties by
+/// insertion order.
+#[test]
+fn event_queue_is_a_stable_sort() {
+    check("event_queue_is_a_stable_sort", 256, |g| {
+        let times = g.vec(0, 200, |g| g.u64(0, 50));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
@@ -15,18 +16,20 @@ proptest! {
         let mut expect: Vec<(u64, usize)> =
             times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         expect.sort(); // stable by (time, index)
-        let got: Vec<(u64, usize)> =
-            std::iter::from_fn(|| q.pop()).map(|(t, i)| (t.as_nanos(), i)).collect();
-        prop_assert_eq!(got, expect);
-    }
+        let got: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, i)| (t.as_nanos(), i))
+            .collect();
+        assert_eq!(got, expect);
+    });
+}
 
-    /// The LRU cache agrees with a brute-force reference model under an
-    /// arbitrary op sequence.
-    #[test]
-    fn lru_matches_reference_model(
-        capacity in 1usize..8,
-        ops in proptest::collection::vec((0u8..3, 0u32..12), 1..300),
-    ) {
+/// The LRU cache agrees with a brute-force reference model under an
+/// arbitrary op sequence.
+#[test]
+fn lru_matches_reference_model() {
+    check("lru_matches_reference_model", 256, |g| {
+        let capacity = g.usize(1, 8);
+        let ops = g.vec(1, 300, |g| (g.u8(0, 3), g.u32(0, 12)));
         let mut lru = LruCache::new(capacity);
         // Reference: Vec of (key, value), most-recent first.
         let mut model: Vec<(u32, u32)> = Vec::new();
@@ -48,44 +51,50 @@ proptest! {
                         model.insert(0, e);
                         e.1
                     });
-                    prop_assert_eq!(lru.get(&key).copied(), expect);
+                    assert_eq!(lru.get(&key).copied(), expect);
                 }
                 _ => {
                     let expect = model
                         .iter()
                         .position(|&(k, _)| k == key)
                         .map(|pos| model.remove(pos).1);
-                    prop_assert_eq!(lru.remove(&key), expect);
+                    assert_eq!(lru.remove(&key), expect);
                 }
             }
-            prop_assert_eq!(lru.len(), model.len());
+            assert_eq!(lru.len(), model.len());
         }
-    }
+    });
+}
 
-    /// Derangements never map an index to itself and are permutations.
-    #[test]
-    fn derangements_are_valid(seed in 0u64..500, n in 2usize..40) {
+/// Derangements never map an index to itself and are permutations.
+#[test]
+fn derangements_are_valid() {
+    check("derangements_are_valid", 256, |g| {
+        let seed = g.u64(0, 500);
+        let n = g.usize(2, 40);
         let mut rng = SimRng::from_seed(seed);
         let p = rng.derangement(n);
         let mut seen = vec![false; n];
         for (i, &v) in p.iter().enumerate() {
-            prop_assert_ne!(i, v);
-            prop_assert!(!seen[v]);
+            assert_ne!(i, v);
+            assert!(!seen[v]);
             seen[v] = true;
         }
-    }
+    });
+}
 
-    /// Forked streams with the same label coincide; different labels
-    /// diverge quickly.
-    #[test]
-    fn forks_are_deterministic(seed in 0u64..1000) {
+/// Forked streams with the same label coincide; different labels
+/// diverge quickly.
+#[test]
+fn forks_are_deterministic() {
+    check("forks_are_deterministic", 256, |g| {
+        let seed = g.u64(0, 1000);
         let root = SimRng::from_seed(seed);
         let mut a = root.fork("x");
         let mut b = root.fork("x");
         let mut c = root.fork("y");
-        use rand::RngCore;
         let va = a.next_u64();
-        prop_assert_eq!(va, b.next_u64());
-        prop_assert_ne!(va, c.next_u64());
-    }
+        assert_eq!(va, b.next_u64());
+        assert_ne!(va, c.next_u64());
+    });
 }

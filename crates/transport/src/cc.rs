@@ -16,11 +16,10 @@
 //! ablation instantiates one per path over a reduced path count — see
 //! `stellar-transport::sim`'s `per_path_cc` switch.
 
-use serde::{Deserialize, Serialize};
 use stellar_sim::{SimDuration, SimTime};
 
 /// CC parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CcConfig {
     /// MTU (window arithmetic quantum), bytes.
     pub mtu: u64,

@@ -10,16 +10,15 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
 use stellar_net::NicId;
 use stellar_sim::SimTime;
 
 /// Connection identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u32);
 
 /// Message identifier, unique within a connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MsgId(pub u64);
 
 /// A packet not yet sent.
@@ -134,7 +133,7 @@ impl std::fmt::Display for SendError {
 impl std::error::Error for SendError {}
 
 /// Cumulative connection statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ConnStats {
     /// Packets sent (first transmissions).
     pub sent_packets: u64,

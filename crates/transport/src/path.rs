@@ -4,11 +4,10 @@
 //! ECMP hash maps it to a concrete route. Each algorithm keeps per-path
 //! observations (EWMA RTT, recent ECN fraction) fed back from ACKs.
 
-use serde::{Deserialize, Serialize};
 use stellar_sim::{SimDuration, SimRng, SimTime};
 
 /// The algorithms evaluated in the paper (§7.2, Figs. 9–12).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathAlgo {
     /// All packets on path 0 — the classic single-path ECMP baseline.
     SinglePath,

@@ -7,7 +7,6 @@
 //! the [`App`] trait to chain dependent messages (ring AllReduce steps,
 //! bursty background jobs) causally inside the simulation.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::{Delivery, Network, NicId};
 use stellar_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
@@ -16,7 +15,7 @@ use crate::conn::{ConnId, ConnStats, Connection, InflightPacket, MsgId, SendErro
 use crate::path::{PathAlgo, PathSelector};
 
 /// Transport parameters (§7.2's three key knobs plus the CC profile).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TransportConfig {
     /// Path-selection algorithm.
     pub algo: PathAlgo,

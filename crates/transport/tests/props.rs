@@ -1,27 +1,22 @@
 //! Property tests for the transport's core invariants.
 
-use proptest::prelude::*;
+use stellar_sim::proptest_lite::check;
 use stellar_sim::{SimDuration, SimRng, SimTime};
-use stellar_transport::conn::{Connection, ConnId, MessageState};
+use stellar_transport::conn::{ConnId, Connection, MessageState};
 use stellar_transport::{PathAlgo, PathSelector};
 
-proptest! {
-    /// The receive bitmap completes exactly once under arbitrary arrival
-    /// order with arbitrary duplication.
-    #[test]
-    fn ooo_placement_exactly_once(
-        total in 1u64..300,
-        dup_seed in 0u64..1000,
-    ) {
+/// The receive bitmap completes exactly once under arbitrary arrival
+/// order with arbitrary duplication.
+#[test]
+fn ooo_placement_exactly_once() {
+    check("ooo_placement_exactly_once", 256, |g| {
+        let total = g.u64(1, 300);
+        let dup_seed = g.u64(0, 1000);
         let mut order: Vec<u64> = (0..total).collect();
         let mut rng = SimRng::from_seed(dup_seed);
         rng.shuffle(&mut order);
         // Duplicate ~30% of packets at random positions.
-        let dups: Vec<u64> = order
-            .iter()
-            .copied()
-            .filter(|_| rng.chance(0.3))
-            .collect();
+        let dups: Vec<u64> = order.iter().copied().filter(|_| rng.chance(0.3)).collect();
         let mut arrivals = order.clone();
         arrivals.extend(dups);
         rng.shuffle(&mut arrivals);
@@ -38,68 +33,72 @@ proptest! {
                 break; // transport stops delivering after completion
             }
         }
-        prop_assert_eq!(completions, 1);
-        prop_assert_eq!(new_placements, total);
-    }
+        assert_eq!(completions, 1);
+        assert_eq!(new_placements, total);
+    });
+}
 
-    /// Every packet is assigned to exactly one message slot; segmentation
-    /// conserves bytes.
-    #[test]
-    fn segmentation_conserves_bytes(
-        bytes in 1u64..10_000_000,
-        mtu_pow in 9u32..14,
-    ) {
+/// Every packet is assigned to exactly one message slot; segmentation
+/// conserves bytes.
+#[test]
+fn segmentation_conserves_bytes() {
+    check("segmentation_conserves_bytes", 256, |g| {
+        let bytes = g.u64(1, 10_000_000);
+        let mtu_pow = g.u32(9, 14);
         let mtu = 1u64 << mtu_pow;
         let mut c = Connection::new(ConnId(0), stellar_net::NicId(0), stellar_net::NicId(1));
         c.post_message(SimTime::ZERO, bytes, mtu);
         let total: u64 = c.unsent.iter().map(|p| p.bytes).sum();
-        prop_assert_eq!(total, bytes);
-        prop_assert!(c.unsent.iter().all(|p| p.bytes <= mtu && p.bytes > 0));
+        assert_eq!(total, bytes);
+        assert!(c.unsent.iter().all(|p| p.bytes <= mtu && p.bytes > 0));
         // Indices are 0..n contiguous.
         for (i, p) in c.unsent.iter().enumerate() {
-            prop_assert_eq!(p.idx, i as u64);
+            assert_eq!(p.idx, i as u64);
         }
-    }
+    });
+}
 
-    /// Path selectors always return a path within range and respect the
-    /// allowed predicate, for every algorithm.
-    #[test]
-    fn selector_respects_constraints(
-        algo_idx in 0usize..6,
-        paths in 1u32..=160,
-        lo in 0u32..8,
-        seed in 0u64..100,
-    ) {
-        let algos = [
+/// Path selectors always return a path within range and respect the
+/// allowed predicate, for every algorithm.
+#[test]
+fn selector_respects_constraints() {
+    check("selector_respects_constraints", 256, |g| {
+        let algo = *g.pick(&[
             PathAlgo::SinglePath,
             PathAlgo::RoundRobin,
             PathAlgo::Obs,
             PathAlgo::Dwrr,
             PathAlgo::BestRtt,
             PathAlgo::MpRdma,
-        ];
-        let algo = algos[algo_idx];
+        ]);
+        let paths = g.u32(1, 161);
+        let lo = g.u32(0, 8);
+        let seed = g.u64(0, 100);
         let mut s = PathSelector::new(algo, paths, SimRng::from_seed(seed));
         let lo = lo.min(paths - 1);
         for _ in 0..50 {
             let p = s.select(None, &|p| p >= lo).expect("a path exists");
-            prop_assert!(p < paths && p >= lo, "{algo:?}: {p}");
+            assert!(p < paths && p >= lo, "{algo:?}: {p}");
         }
         // RTT feedback keeps inflight counters non-negative.
         for p in 0..paths.min(4) {
             s.on_ack(p, SimDuration::from_micros(10), false);
             s.on_loss(p);
         }
-    }
+    });
+}
 
-    /// OBS spraying over N paths touches a large fraction of them after
-    /// enough packets (no silent path collapse).
-    #[test]
-    fn obs_covers_paths(paths in 2u32..=128, seed in 0u64..50) {
+/// OBS spraying over N paths touches a large fraction of them after
+/// enough packets (no silent path collapse).
+#[test]
+fn obs_covers_paths() {
+    check("obs_covers_paths", 128, |g| {
+        let paths = g.u32(2, 129);
+        let seed = g.u64(0, 50);
         let mut s = PathSelector::new(PathAlgo::Obs, paths, SimRng::from_seed(seed));
         for _ in 0..(paths as usize * 20) {
             s.select(None, &|_| true);
         }
-        prop_assert!(s.active_paths() as u32 >= paths * 8 / 10);
-    }
+        assert!(s.active_paths() as u32 >= paths * 8 / 10);
+    });
 }

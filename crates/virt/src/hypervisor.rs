@@ -6,13 +6,12 @@
 //! because their page-level behaviour is exactly what the Fig. 5 bug is
 //! about.
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::addr::{Gpa, Hpa, PAGE_4K};
 use stellar_pcie::paging::Ept;
 use stellar_sim::SimDuration;
 
 /// Hypervisor timing model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HypervisorConfig {
     /// MicroVM creation time excluding memory work (kernel boot, device
     /// model setup).

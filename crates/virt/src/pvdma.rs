@@ -21,7 +21,6 @@
 //! (an I/O space disjoint from guest RAM — see
 //! [`crate::virtio::ShmRegion`]), making the overlap impossible.
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::addr::{Address, Gpa, Hpa, Iova, PAGE_2M, PAGE_4K};
 use stellar_pcie::iommu::{Iommu, IommuError};
 use stellar_sim::SimDuration;
@@ -31,7 +30,7 @@ use crate::hypervisor::Hypervisor;
 use std::collections::HashMap;
 
 /// PVDMA configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PvdmaConfig {
     /// Pinning granularity. 2 MiB in production: "to balance Map Cache
     /// size and IOMMU pinning overhead" (§5). The `pvdma_granularity`

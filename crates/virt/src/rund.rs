@@ -12,7 +12,6 @@
 //! With the paper's constants, a 1.6 TB container boots in ~390+ s under
 //! FullPin and under 20 s with PVDMA — the ≥15× of Fig. 6.
 
-use serde::{Deserialize, Serialize};
 use stellar_pcie::addr::{Gpa, Hpa, PAGE_2M};
 use stellar_pcie::iommu::{Iommu, IommuConfig};
 use stellar_sim::SimDuration;
@@ -22,7 +21,7 @@ use crate::pvdma::{Pvdma, PvdmaConfig};
 use crate::vfio::{Vfio, VfioError};
 
 /// How the container's memory is made DMA-safe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemoryStrategy {
     /// Pin all guest memory at boot (VFIO / pre-Stellar).
     FullPin,
@@ -31,7 +30,7 @@ pub enum MemoryStrategy {
 }
 
 /// Container configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RundConfig {
     /// Guest memory size in bytes.
     pub memory_bytes: u64,
@@ -56,7 +55,7 @@ impl RundConfig {
 }
 
 /// Where boot time went.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BootReport {
     /// Total simulated boot time.
     pub total: SimDuration,

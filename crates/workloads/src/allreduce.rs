@@ -14,13 +14,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use stellar_net::NicId;
 use stellar_sim::{SimDuration, SimTime};
 use stellar_transport::{App, ConnId, MsgId, TransportSim};
 
 /// On/off schedule for a bursty job.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BurstSchedule {
     /// Consecutive AllReduce iterations per burst.
     pub run_iters: u32,
@@ -42,7 +41,7 @@ pub struct AllReduceJob {
 }
 
 /// Completed-iteration record.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IterationRecord {
     /// Iteration index.
     pub iter: u32,
@@ -60,7 +59,7 @@ impl IterationRecord {
 }
 
 /// Per-job results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AllReduceReport {
     /// Ring size.
     pub ranks: usize,

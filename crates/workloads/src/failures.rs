@@ -11,7 +11,6 @@
 //! aggregation link mid-run, and reports per-iteration bus bandwidth so
 //! the three phases are visible: healthy → RTO-bridged → rerouted.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::{ClosConfig, ClosTopology, LinkId, Network, NetworkConfig, NicId};
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::{App, ConnId, MsgId, PathAlgo, TransportConfig, TransportSim};
@@ -19,7 +18,7 @@ use stellar_transport::{App, ConnId, MsgId, PathAlgo, TransportConfig, Transport
 use crate::allreduce::{AllReduceJob, AllReduceRunner};
 
 /// Failure-timeline parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FailureTimelineConfig {
     /// Ring size.
     pub ranks: usize,
@@ -55,7 +54,7 @@ impl Default for FailureTimelineConfig {
 }
 
 /// Timeline output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FailureTimeline {
     /// Per-iteration bus bandwidth, GB/s, in order.
     pub busbw_gbs: Vec<f64>,

@@ -9,13 +9,12 @@
 //! receiver's downlink, and no path-selection algorithm can help; the CC
 //! must absorb it.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig};
 use stellar_sim::{SimRng, SimTime};
 use stellar_transport::{ConnId, NoopApp, TransportConfig, TransportSim};
 
 /// Incast experiment parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IncastConfig {
     /// Fabric shape.
     pub topology: ClosConfig,
@@ -51,7 +50,7 @@ impl Default for IncastConfig {
 }
 
 /// Incast results.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IncastReport {
     /// Completion time of the fastest sender.
     pub first_done: SimTime,

@@ -28,7 +28,6 @@
 //! baseline vs Stellar's 128-path spray). Step time combines the analytic
 //! compute term with the measured, partially-overlapped communication.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::{PathAlgo, TransportConfig, TransportSim};
@@ -36,7 +35,7 @@ use stellar_transport::{PathAlgo, TransportConfig, TransportSim};
 use crate::allreduce::{AllReduceJob, AllReduceRunner};
 
 /// Training framework flavour (changes the DP communication pattern).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Framework {
     /// Megatron-LM 3D parallelism: one gradient all-reduce per step.
     Megatron,
@@ -48,7 +47,7 @@ pub enum Framework {
 }
 
 /// One training job (a Table 1 row).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LlmJobConfig {
     /// Display name.
     pub name: &'static str,
@@ -172,7 +171,7 @@ mod platform {
 }
 
 /// Table 1 output: per-step times and exposed communication ratios.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CommRatios {
     /// Job name.
     pub name: &'static str,
@@ -247,7 +246,7 @@ pub fn comm_ratios(job: &LlmJobConfig) -> CommRatios {
 }
 
 /// Task placement strategy (Fig. 16).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// Reranking co-locates communicating ranks: ring neighbours sit in
     /// the same segment wherever possible.
@@ -257,7 +256,7 @@ pub enum Placement {
 }
 
 /// Outcome of a fabric-coupled training-step simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainingOutcome {
     /// Analytic compute time per (scaled) step.
     pub compute: SimDuration,
@@ -277,7 +276,7 @@ impl TrainingOutcome {
 }
 
 /// Parameters of the Fig. 15/16 scaled simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainingSimConfig {
     /// Ranks in each DP ring (one NIC each).
     pub ranks: usize,
@@ -439,7 +438,7 @@ mod tests {
 
     #[test]
     fn fig16_random_placement_magnifies_transport_gap() {
-        let step = |placement, algo, paths| {
+        let step = |placement, algo, paths, seed| {
             simulate_training_step(&TrainingSimConfig {
                 placement,
                 algo,
@@ -447,17 +446,27 @@ mod tests {
                 ranks: 8,
                 rings: 4,
                 data_bytes: 4 * 1024 * 1024,
-                seed: 9,
+                seed,
                 ..TrainingSimConfig::default()
             })
         };
-        let rer_single = step(Placement::Reranked, PathAlgo::SinglePath, 1);
-        let rer_spray = step(Placement::Reranked, PathAlgo::Obs, 128);
-        let rnd_single = step(Placement::Random, PathAlgo::SinglePath, 1);
-        let rnd_spray = step(Placement::Random, PathAlgo::Obs, 128);
-
-        let gain_rer = rer_spray.speed() / rer_single.speed() - 1.0;
-        let gain_rnd = rnd_spray.speed() / rnd_single.speed() - 1.0;
+        // The claim is statistical — any single shuffle can happen to
+        // balance the fabric — so average the spray-vs-single gain over
+        // several seeds for each placement.
+        let seeds = [3u64, 5, 7, 9, 11];
+        let mean_gain = |placement| -> f64 {
+            seeds
+                .iter()
+                .map(|&seed| {
+                    let single = step(placement, PathAlgo::SinglePath, 1, seed);
+                    let spray = step(placement, PathAlgo::Obs, 128, seed);
+                    spray.speed() / single.speed() - 1.0
+                })
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let gain_rer = mean_gain(Placement::Reranked);
+        let gain_rnd = mean_gain(Placement::Random);
         // Fig. 16: ~0.72% reranked, up to 14% random.
         assert!(
             gain_rnd > gain_rer,

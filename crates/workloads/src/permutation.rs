@@ -7,13 +7,12 @@
 //! the run duration; the report captures the ToR-uplink queue statistics
 //! that Fig. 9 plots (average and maximum depth) plus per-flow goodput.
 
-use serde::{Deserialize, Serialize};
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig};
 use stellar_sim::{SimRng, SimTime};
 use stellar_transport::{App, ConnId, MsgId, TransportConfig, TransportSim};
 
 /// Permutation experiment parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PermutationConfig {
     /// Fabric shape.
     pub topology: ClosConfig,
@@ -49,7 +48,7 @@ impl Default for PermutationConfig {
 }
 
 /// Results of one permutation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PermutationReport {
     /// Flows created.
     pub flows: usize,

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the stellar workspace. Every command runs --offline:
+# the workspace has zero external dependencies by policy (see DESIGN.md,
+# "Determinism & zero-dependency policy"), so a network fetch during CI
+# is itself a regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline -- -D warnings

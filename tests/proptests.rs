@@ -1,7 +1,5 @@
-//! Cross-crate property-based tests (proptest) on the invariants
+//! Cross-crate property-based tests (proptest_lite) on the invariants
 //! DESIGN.md commits to.
-
-use proptest::prelude::*;
 
 use stellar::net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
 use stellar::pcie::addr::{Gpa, Hpa, PAGE_4K};
@@ -11,33 +9,29 @@ use stellar::transport::{NoopApp, PathAlgo, TransportConfig, TransportSim};
 use stellar::virt::hypervisor::{Hypervisor, HypervisorConfig};
 use stellar::virt::pvdma::{Pvdma, PvdmaConfig};
 use stellar::workloads::allreduce::{AllReduceJob, AllReduceRunner};
+use stellar_sim::proptest_lite::check;
 use stellar_sim::{SimRng, SimTime};
 
 const FOREVER: SimTime = SimTime::from_nanos(u64::MAX / 2);
 
-fn algo_strategy() -> impl Strategy<Value = PathAlgo> {
-    prop_oneof![
-        Just(PathAlgo::SinglePath),
-        Just(PathAlgo::RoundRobin),
-        Just(PathAlgo::Obs),
-        Just(PathAlgo::Dwrr),
-        Just(PathAlgo::BestRtt),
-        Just(PathAlgo::MpRdma),
-    ]
-}
+const ALGOS: [PathAlgo; 6] = [
+    PathAlgo::SinglePath,
+    PathAlgo::RoundRobin,
+    PathAlgo::Obs,
+    PathAlgo::Dwrr,
+    PathAlgo::BestRtt,
+    PathAlgo::MpRdma,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every algorithm, any path count, any message size: the message is
-    /// delivered exactly once, in full, and the sim goes idle.
-    #[test]
-    fn any_transport_config_delivers_exactly_once(
-        algo in algo_strategy(),
-        paths in 1u32..=160,
-        kb in 1u64..=2048,
-        seed in 0u64..1000,
-    ) {
+/// Every algorithm, any path count, any message size: the message is
+/// delivered exactly once, in full, and the sim goes idle.
+#[test]
+fn any_transport_config_delivers_exactly_once() {
+    check("any_transport_config_delivers_exactly_once", 24, |g| {
+        let algo = *g.pick(&ALGOS);
+        let paths = g.u32(1, 161);
+        let kb = g.u64(1, 2049);
+        let seed = g.u64(0, 1000);
         let topo = ClosTopology::build(ClosConfig {
             segments: 2,
             hosts_per_segment: 3,
@@ -49,7 +43,11 @@ proptest! {
         let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
         let mut sim = TransportSim::new(
             network,
-            TransportConfig { algo, num_paths: paths, ..TransportConfig::default() },
+            TransportConfig {
+                algo,
+                num_paths: paths,
+                ..TransportConfig::default()
+            },
             rng.fork("t"),
         );
         let src = sim.network().topology().nic(0, 0);
@@ -58,20 +56,21 @@ proptest! {
         let bytes = kb * 1024;
         let msg = sim.post_message(conn, bytes);
         sim.run(&mut NoopApp, FOREVER);
-        prop_assert!(sim.message_completed_at(conn, msg).is_some());
+        assert!(sim.message_completed_at(conn, msg).is_some());
         let st = sim.conn_stats(conn);
-        prop_assert_eq!(st.delivered_bytes, bytes);
-        prop_assert_eq!(st.completed_messages, 1);
-        prop_assert!(sim.all_idle());
-    }
+        assert_eq!(st.delivered_bytes, bytes);
+        assert_eq!(st.completed_messages, 1);
+        assert!(sim.all_idle());
+    });
+}
 
-    /// Under arbitrary loss, spraying still delivers everything exactly
-    /// once (RTO + path exclusion recovery).
-    #[test]
-    fn lossy_fabric_still_delivers_exactly_once(
-        loss_pct in 0u32..=10,
-        seed in 0u64..500,
-    ) {
+/// Under arbitrary loss, spraying still delivers everything exactly
+/// once (RTO + path exclusion recovery).
+#[test]
+fn lossy_fabric_still_delivers_exactly_once() {
+    check("lossy_fabric_still_delivers_exactly_once", 24, |g| {
+        let loss_pct = g.u32(0, 11);
+        let seed = g.u64(0, 500);
         let topo = ClosTopology::build(ClosConfig {
             segments: 2,
             hosts_per_segment: 2,
@@ -97,18 +96,19 @@ proptest! {
         let conn = sim.add_connection(src, dst);
         let msg = sim.post_message(conn, 512 * 1024);
         sim.run(&mut NoopApp, FOREVER);
-        prop_assert!(sim.message_completed_at(conn, msg).is_some());
-        prop_assert_eq!(sim.conn_stats(conn).delivered_bytes, 512 * 1024);
-    }
+        assert!(sim.message_completed_at(conn, msg).is_some());
+        assert_eq!(sim.conn_stats(conn).delivered_bytes, 512 * 1024);
+    });
+}
 
-    /// Ring AllReduce with an arbitrary ring subset completes every
-    /// iteration regardless of ring size or payload.
-    #[test]
-    fn allreduce_always_converges(
-        ranks in 2usize..=8,
-        data_kb in 8u64..=512,
-        seed in 0u64..200,
-    ) {
+/// Ring AllReduce with an arbitrary ring subset completes every
+/// iteration regardless of ring size or payload.
+#[test]
+fn allreduce_always_converges() {
+    check("allreduce_always_converges", 24, |g| {
+        let ranks = g.usize(2, 9);
+        let data_kb = g.u64(8, 513);
+        let seed = g.u64(0, 200);
         let topo = ClosTopology::build(ClosConfig {
             segments: 2,
             hosts_per_segment: 4,
@@ -118,35 +118,35 @@ proptest! {
         });
         let rng = SimRng::from_seed(seed);
         let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
-        let mut sim = TransportSim::new(
-            network,
-            TransportConfig::default(),
-            rng.fork("t"),
-        );
+        let mut sim = TransportSim::new(network, TransportConfig::default(), rng.fork("t"));
         let nics: Vec<NicId> = (0..ranks)
             .map(|r| sim.network().topology().nic(r, 0))
             .collect();
-        let mut runner = AllReduceRunner::new(&mut sim, vec![AllReduceJob {
-            nics,
-            data_bytes: data_kb * 1024,
-            iterations: 2,
-            burst: None,
-        }]);
+        let mut runner = AllReduceRunner::new(
+            &mut sim,
+            vec![AllReduceJob {
+                nics,
+                data_bytes: data_kb * 1024,
+                iterations: 2,
+                burst: None,
+            }],
+        );
         runner.start(&mut sim);
         sim.run(&mut runner, FOREVER);
-        prop_assert!(runner.all_finished());
+        assert!(runner.all_finished());
         let rep = runner.report(0);
-        prop_assert_eq!(rep.iterations.len(), 2);
+        assert_eq!(rep.iterations.len(), 2);
         // Iterations are properly ordered in time.
-        prop_assert!(rep.iterations[0].finished <= rep.iterations[1].started);
-    }
+        assert!(rep.iterations[0].finished <= rep.iterations[1].started);
+    });
+}
 
-    /// PVDMA keeps the IOMMU consistent with the guest as long as no
-    /// device register shares a block with RAM (the safe configuration).
-    #[test]
-    fn pvdma_is_consistent_without_register_aliasing(
-        touches in proptest::collection::vec((0u64..64, 1u64..=16), 1..20),
-    ) {
+/// PVDMA keeps the IOMMU consistent with the guest as long as no
+/// device register shares a block with RAM (the safe configuration).
+#[test]
+fn pvdma_is_consistent_without_register_aliasing() {
+    check("pvdma_is_consistent_without_register_aliasing", 24, |g| {
+        let touches = g.vec(1, 20, |g| (g.u64(0, 64), g.u64(1, 17)));
         let mut h = Hypervisor::new(HypervisorConfig::default());
         h.add_ram(Gpa(0), Hpa(1 << 40), 64 * 2 * 1024 * 1024);
         let mut iommu = Iommu::new(IommuConfig::default());
@@ -157,9 +157,9 @@ proptest! {
             // Pinned translations match the hypervisor's view.
             let t = iommu.translate(Iova(gpa.0)).unwrap();
             let (expect, _) = h.translate(gpa).unwrap();
-            prop_assert_eq!(t.hpa, expect);
+            assert_eq!(t.hpa, expect);
         }
         let bad = pvdma.check_consistency(&h, &mut iommu, Gpa(0), 64 * 2 * 1024 * 1024);
-        prop_assert!(bad.is_empty());
-    }
+        assert!(bad.is_empty());
+    });
 }
