@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce <experiment> [--quick] [--json]
 //!   experiments: fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//!                fig16 table1 claims timeline all
+//!                fig16 table1 claims timeline chaos all
 //! ```
 //!
 //! `--quick` runs scaled-down configurations (seconds instead of
@@ -58,11 +58,12 @@ fn main() {
     exp!("table1", table1_comm);
     exp!("claims", claims);
     exp!("timeline", timeline);
+    exp!("chaos", chaos);
 
     if !ran {
         eprintln!(
             "unknown experiment '{which}'; expected one of: fig6 fig8 fig9 fig10 \
-             fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline all"
+             fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline chaos all"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,203 @@
+//! Chaos-scenario table — AllReduce under multi-fault plans (flap storm,
+//! cascading switch death, slow optics, and the compound acceptance
+//! scenario), each scored with a graceful-degradation verdict.
+//!
+//! The hardened rows run the full Stellar transport (OBS spray + RTO
+//! backoff + loss scoreboard); the final row is the counterfactual — an
+//! unhardened single-path transport under the same compound plan, which
+//! either collapses or burns through its retry budget.
+
+use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::SimDuration;
+use stellar_transport::{PathAlgo, ScoreboardPolicy};
+use stellar_workloads::chaos::{run_chaos, ChaosConfig, ChaosScenario};
+
+/// One chaos-scenario row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Transport variant ("hardened-obs" or "unhardened-single").
+    pub transport: &'static str,
+    /// Fault-free calibration busbw, GB/s.
+    pub healthy_gbs: f64,
+    /// Bridged-window busbw relative to healthy, or `-1` if no iteration
+    /// overlapped the fault window.
+    pub bridged_rel: f64,
+    /// Post-recovery busbw relative to healthy, or `-1` if the job ended
+    /// before the reroute settled.
+    pub after_rel: f64,
+    /// Total fabric drops attributed to the fault plan (dead + degraded
+    /// links).
+    pub fault_drops: u64,
+    /// Retransmissions across all connections.
+    pub retransmits: u64,
+    /// Connections that hit their retry budget.
+    pub conn_errors: u64,
+    /// Graceful-degradation verdict.
+    pub verdict: &'static str,
+}
+
+impl ToJsonRow for Row {
+    fn to_json_row(&self) -> String {
+        Obj::new()
+            .field_str("scenario", self.scenario)
+            .field_str("transport", self.transport)
+            .field_f64("healthy_gbs", self.healthy_gbs)
+            .field_f64("bridged_rel", self.bridged_rel)
+            .field_f64("after_rel", self.after_rel)
+            .field_u64("fault_drops", self.fault_drops)
+            .field_u64("retransmits", self.retransmits)
+            .field_u64("conn_errors", self.conn_errors)
+            .field_str("verdict", self.verdict)
+            .finish()
+    }
+}
+
+fn rel(window: Option<f64>, healthy: f64) -> f64 {
+    match window {
+        Some(bw) if healthy > 0.0 => bw / healthy,
+        _ => -1.0,
+    }
+}
+
+fn row_for(config: &ChaosConfig, transport: &'static str) -> Row {
+    let r = run_chaos(config);
+    let fault_drops: u64 = r
+        .drops_by_reason
+        .iter()
+        .filter(|(reason, _)| {
+            matches!(
+                reason,
+                stellar_net::DropReason::LinkDown | stellar_net::DropReason::DegradedLink
+            )
+        })
+        .map(|&(_, n)| n)
+        .sum();
+    Row {
+        scenario: r.scenario.name(),
+        transport,
+        healthy_gbs: r.healthy_busbw_gbs,
+        bridged_rel: rel(r.bridged, r.healthy_busbw_gbs),
+        after_rel: rel(r.after, r.healthy_busbw_gbs),
+        fault_drops,
+        retransmits: r.retransmits,
+        conn_errors: r.errors.len() as u64,
+        verdict: r.verdict.name(),
+    }
+}
+
+/// Run the chaos table: every scenario hardened, plus the unhardened
+/// single-path counterfactual under the compound plan.
+pub fn run(quick: bool) -> Vec<Row> {
+    let base = ChaosConfig {
+        data_bytes: if quick { 2 * 1024 * 1024 } else { 16 * 1024 * 1024 },
+        iterations: if quick { 8 } else { 12 },
+        ..ChaosConfig::default()
+    };
+    let mut rows: Vec<Row> = ChaosScenario::ALL
+        .iter()
+        .map(|&scenario| {
+            row_for(
+                &ChaosConfig {
+                    scenario,
+                    // The compound acceptance thresholds need iterations
+                    // that dwarf one RTO; keep its payload large even in
+                    // quick mode.
+                    data_bytes: if scenario == ChaosScenario::Compound {
+                        16 * 1024 * 1024
+                    } else {
+                        base.data_bytes
+                    },
+                    iterations: if scenario == ChaosScenario::Compound {
+                        8
+                    } else {
+                        base.iterations
+                    },
+                    ..base.clone()
+                },
+                "hardened-obs",
+            )
+        })
+        .collect();
+    rows.push(row_for(
+        &ChaosConfig {
+            scenario: ChaosScenario::Compound,
+            algo: PathAlgo::SinglePath,
+            num_paths: 1,
+            rto_backoff: 1.0,
+            retry_budget: 8,
+            scoreboard: ScoreboardPolicy {
+                blacklist_after: 0,
+                penalty: SimDuration::ZERO,
+            },
+            bgp_convergence: SimDuration::from_millis(50),
+            ..base
+        },
+        "unhardened-single",
+    ));
+    rows
+}
+
+/// Print the table.
+pub fn print(rows: &[Row]) {
+    println!("Chaos scenarios — graceful degradation under multi-fault plans");
+    println!(
+        "{:>12} {:>18} {:>9} {:>9} {:>9} {:>7} {:>6} {:>5}  verdict",
+        "scenario", "transport", "healthy", "bridged", "after", "drops", "retx", "errs"
+    );
+    let pct = |v: f64| {
+        if v < 0.0 {
+            "  n/a".to_string()
+        } else {
+            format!("{:.0}%", v * 100.0)
+        }
+    };
+    for r in rows {
+        println!(
+            "{:>12} {:>18} {:>9.2} {:>9} {:>9} {:>7} {:>6} {:>5}  {}",
+            r.scenario,
+            r.transport,
+            r.healthy_gbs,
+            pct(r.bridged_rel),
+            pct(r.after_rel),
+            r.fault_drops,
+            r.retransmits,
+            r.conn_errors,
+            r.verdict
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_table_shape() {
+        let rows = run(true);
+        // 4 hardened scenarios + 1 unhardened counterfactual.
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.healthy_gbs > 0.0, "{}: calibration ran", r.scenario);
+            assert!(r.fault_drops > 0, "{}: faults actually bit", r.scenario);
+        }
+        let compound = rows
+            .iter()
+            .find(|r| r.scenario == "compound" && r.transport == "hardened-obs")
+            .unwrap();
+        assert_eq!(compound.verdict, "graceful");
+        assert_eq!(compound.conn_errors, 0);
+        assert!(compound.bridged_rel >= 0.6 && compound.after_rel >= 0.9);
+        let unhardened = rows
+            .iter()
+            .find(|r| r.transport == "unhardened-single")
+            .unwrap();
+        assert!(
+            unhardened.conn_errors > 0
+                || unhardened.verdict == "collapsed"
+                || unhardened.verdict == "transport_error",
+            "counterfactual must fail: {unhardened:?}"
+        );
+    }
+}

@@ -92,10 +92,7 @@ fn run_one(algo: PathAlgo, paths: u32, loss: f64, quick: bool) -> (f64, u64) {
     runner.start(&mut sim);
     sim.run(&mut runner, SimTime::from_nanos(u64::MAX / 2));
     let busbw = runner.report(0).mean_bus_bandwidth_gbs();
-    let rto: u64 = (0..sim.connection_count())
-        .map(|c| sim.conn_stats(stellar_transport::ConnId(c)).rto_events)
-        .sum();
-    (busbw, rto)
+    (busbw, sim.total_stats().rto_events)
 }
 
 /// Algorithms compared.

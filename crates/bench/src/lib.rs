@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod claims;
 pub mod fig06_startup;
 pub mod fig08_atc;

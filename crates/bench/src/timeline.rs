@@ -53,9 +53,9 @@ pub fn run(quick: bool) -> Vec<Row> {
         });
         Row {
             algo: name,
-            before_gbs: t.before,
-            during_gbs: t.during,
-            after_gbs: t.after,
+            before_gbs: t.before.expect("pre-failure window populated"),
+            during_gbs: t.during.expect("bridged window populated"),
+            after_gbs: t.after.expect("post-convergence window populated"),
             retransmits: t.retransmits,
         }
     };

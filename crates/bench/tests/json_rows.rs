@@ -40,6 +40,16 @@ fn fig13_rows_serialize_with_fields() {
 }
 
 #[test]
+fn chaos_rows_serialize_with_fields() {
+    let rows = b::chaos::run(true);
+    let vals = to_json(&rows);
+    assert_eq!(vals.len(), rows.len());
+    assert!(vals[0].get("scenario").is_some());
+    assert!(vals[0].get("bridged_rel").is_some());
+    assert!(vals[0].get("verdict").is_some());
+}
+
+#[test]
 fn claims_rows_serialize_with_fields() {
     let rows = b::claims::run(true);
     let vals = to_json(&rows);

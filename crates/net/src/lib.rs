@@ -20,8 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod network;
 pub mod topology;
 
+pub use fault::{FaultEvent, FaultPlan};
 pub use network::{Delivery, DropReason, LinkStats, Network, NetworkConfig, TraceRecord};
 pub use topology::{ClosConfig, ClosTopology, LinkId, NicId, NodeId, NodeKind};

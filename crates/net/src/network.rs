@@ -18,6 +18,7 @@
 use stellar_sim::stats::Gauge;
 use stellar_sim::{transmit_time, SimDuration, SimRng, SimTime};
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::topology::{ClosTopology, LinkId, NicId};
 
 /// Fabric-wide link parameters.
@@ -59,8 +60,33 @@ pub enum DropReason {
     BufferOverflow,
     /// Injected random loss (Fig. 11 failure experiments).
     RandomLoss,
-    /// The link is administratively or physically down.
+    /// The link is administratively or physically down (dead link).
     LinkDown,
+    /// Loss from a degrading optical module (an active
+    /// [`crate::FaultEvent::DegradeRamp`]), distinct from flat random
+    /// loss: the probability is time-dependent and signals failing
+    /// hardware rather than congestion-unrelated noise.
+    DegradedLink,
+}
+
+impl DropReason {
+    /// Dense index for per-reason counters.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            DropReason::BufferOverflow => 0,
+            DropReason::RandomLoss => 1,
+            DropReason::LinkDown => 2,
+            DropReason::DegradedLink => 3,
+        }
+    }
+
+    /// Every reason, in counter order.
+    pub const ALL: [DropReason; 4] = [
+        DropReason::BufferOverflow,
+        DropReason::RandomLoss,
+        DropReason::LinkDown,
+        DropReason::DegradedLink,
+    ];
 }
 
 /// The fate of one forwarded packet.
@@ -99,12 +125,38 @@ impl Delivery {
     }
 }
 
+/// An active optical-degradation ramp on one link.
+#[derive(Debug, Clone, Copy)]
+struct DegradeRamp {
+    t0: SimTime,
+    from: f64,
+    to: f64,
+    over: SimDuration,
+}
+
+impl DegradeRamp {
+    /// Loss probability at time `t`: linear interpolation inside the
+    /// window, clamped to the endpoints outside it.
+    fn loss_at(&self, t: SimTime) -> f64 {
+        if t <= self.t0 {
+            return self.from;
+        }
+        let elapsed = t.duration_since(self.t0).as_nanos();
+        let window = self.over.as_nanos();
+        if window == 0 || elapsed >= window {
+            return self.to;
+        }
+        self.from + (self.to - self.from) * (elapsed as f64 / window as f64)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct LinkState {
     next_free: SimTime,
     up: bool,
     down_since: SimTime,
     loss_prob: f64,
+    degrade: Option<DegradeRamp>,
     queue: Gauge,
     tx_bytes: u64,
     tx_packets: u64,
@@ -157,6 +209,12 @@ pub struct Network {
     rng: SimRng,
     /// Bounded packet trace; `None` = tracing off (the default).
     trace: Option<(Vec<TraceRecord>, usize)>,
+    /// Installed fault schedule, sorted by time; `plan_cursor` is the
+    /// first not-yet-applied event.
+    plan: Vec<(SimTime, FaultEvent)>,
+    plan_cursor: usize,
+    /// Fabric-wide drop counters, indexed by [`DropReason::index`].
+    drop_counts: [u64; 4],
 }
 
 impl Network {
@@ -169,6 +227,7 @@ impl Network {
                 up: true,
                 down_since: SimTime::ZERO,
                 loss_prob: 0.0,
+                degrade: None,
                 queue: Gauge::new(SimTime::ZERO),
                 tx_bytes: 0,
                 tx_packets: 0,
@@ -183,6 +242,9 @@ impl Network {
             links,
             rng,
             trace: None,
+            plan: Vec::new(),
+            plan_cursor: 0,
+            drop_counts: [0; 4],
         }
     }
 
@@ -210,10 +272,102 @@ impl Network {
         &self.config
     }
 
+    /// The fabric configuration, mutable (tests tune knobs like
+    /// `bgp_convergence` without rebuilding the network).
+    pub fn config_mut(&mut self) -> &mut NetworkConfig {
+        &mut self.config
+    }
+
     /// Inject random loss with probability `p` on `link` (Fig. 11).
     pub fn set_loss(&mut self, link: LinkId, p: f64) {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.links[link.0 as usize].loss_prob = p;
+    }
+
+    /// Install a fault schedule. Events fire from inside the simulation
+    /// clock: every [`Network::send`] first applies all events whose
+    /// timestamp has been reached, so the drop sequence is a pure
+    /// function of `(plan, rng seed, traffic)`. Replaces any previous
+    /// plan; already-applied state is left as is.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan.into_events();
+        self.plan_cursor = 0;
+    }
+
+    /// Events of the installed plan not yet applied.
+    pub fn pending_fault_events(&self) -> usize {
+        self.plan.len() - self.plan_cursor
+    }
+
+    /// Apply every scheduled fault event with timestamp `<= now`. Called
+    /// automatically by [`Network::send`]; public so an event loop can
+    /// advance fault state across traffic gaps (e.g. before reading
+    /// stats at an idle instant).
+    pub fn apply_faults(&mut self, now: SimTime) {
+        while let Some(&(at, ev)) = self.plan.get(self.plan_cursor) {
+            if at > now {
+                break;
+            }
+            self.plan_cursor += 1;
+            self.apply_fault_event(at, ev);
+        }
+    }
+
+    /// Apply one event at its scheduled time `at` (which may precede the
+    /// packet that triggered the catch-up — the control plane's
+    /// convergence clock starts at the true fault time).
+    fn apply_fault_event(&mut self, at: SimTime, ev: FaultEvent) {
+        match ev {
+            FaultEvent::LinkDown(l) => self.set_link_state_at(at, l, false),
+            FaultEvent::LinkUp(l) => self.set_link_state_at(at, l, true),
+            FaultEvent::SwitchDown(node) => {
+                for l in self.topo.links_of_node(node) {
+                    self.set_link_state_at(at, l, false);
+                }
+            }
+            FaultEvent::SwitchUp(node) => {
+                for l in self.topo.links_of_node(node) {
+                    self.set_link_state_at(at, l, true);
+                }
+            }
+            FaultEvent::NicPortDown { nic, plane } => {
+                let (up, down) = self.topo.nic_port_links(nic, plane as usize);
+                self.set_link_state_at(at, up, false);
+                self.set_link_state_at(at, down, false);
+            }
+            FaultEvent::NicPortUp { nic, plane } => {
+                let (up, down) = self.topo.nic_port_links(nic, plane as usize);
+                self.set_link_state_at(at, up, true);
+                self.set_link_state_at(at, down, true);
+            }
+            FaultEvent::SetLoss { link, p } => {
+                let l = &mut self.links[link.0 as usize];
+                l.loss_prob = p;
+                l.degrade = None;
+            }
+            FaultEvent::DegradeRamp { link, from, to, over } => {
+                self.links[link.0 as usize].degrade = Some(DegradeRamp {
+                    t0: at,
+                    from,
+                    to,
+                    over,
+                });
+            }
+        }
+    }
+
+    /// Effective loss probability of a degrading link at `now` (zero when
+    /// no ramp is active).
+    pub fn degraded_loss_at(&self, link: LinkId, now: SimTime) -> f64 {
+        self.links[link.0 as usize]
+            .degrade
+            .map(|r| r.loss_at(now))
+            .unwrap_or(0.0)
+    }
+
+    /// Fabric-wide drops attributed to `reason`.
+    pub fn drops_by_reason(&self, reason: DropReason) -> u64 {
+        self.drop_counts[reason.index()]
     }
 
     /// Take a link down / bring it up. Call with the current time so the
@@ -259,7 +413,11 @@ impl Network {
         path_id: u32,
         bytes: u64,
     ) -> Delivery {
+        self.apply_faults(now);
         let delivery = self.forward(now, src, dst, flow, path_id, bytes);
+        if let Delivery::Dropped { reason, .. } = delivery {
+            self.drop_counts[reason.index()] += 1;
+        }
         if let Some((records, limit)) = &mut self.trace {
             if records.len() < *limit {
                 records.push(TraceRecord {
@@ -321,6 +479,23 @@ impl Network {
                     at: t,
                 };
             }
+            // Degrading-optics loss first (time-dependent), then flat
+            // random loss — separate draws keep the two distinguishable
+            // in the DropReason taxonomy and leave the RNG stream of
+            // ramp-free runs untouched.
+            if let Some(ramp) = link.degrade {
+                let p = ramp.loss_at(t);
+                if p > 0.0 && self.rng.chance(p) {
+                    let link = &mut self.links[link_id.0 as usize];
+                    link.drops += 1;
+                    return Delivery::Dropped {
+                        link: link_id,
+                        reason: DropReason::DegradedLink,
+                        at: t,
+                    };
+                }
+            }
+            let link = &mut self.links[link_id.0 as usize];
             if link.loss_prob > 0.0 && self.rng.chance(link.loss_prob) {
                 link.drops += 1;
                 return Delivery::Dropped {
@@ -618,6 +793,136 @@ mod tests {
         // Tracing is now off; further sends record nothing.
         n.send(t(100), src, dst, 3, 0, 4096);
         assert!(n.take_trace().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_executes_on_the_sim_clock() {
+        let mut n = net();
+        let src = n.topology().nic(0, 0);
+        let dst = n.topology().nic(4, 0);
+        let link = n.topology().route(src, dst, 1, 0)[1];
+        n.install_fault_plan(
+            crate::FaultPlan::new(1)
+                .link_down(t(100), link)
+                .link_up(t(300), link),
+        );
+        assert_eq!(n.pending_fault_events(), 2);
+        // Before the scheduled failure: delivers.
+        assert!(n.send(t(50), src, dst, 1, 0, 1024).arrival().is_some());
+        // Inside the down window: dead link.
+        let d = n.send(t(150), src, dst, 1, 0, 1024);
+        assert!(matches!(
+            d,
+            Delivery::Dropped {
+                reason: DropReason::LinkDown,
+                ..
+            }
+        ));
+        assert_eq!(n.drops_by_reason(DropReason::LinkDown), 1);
+        // After the scheduled recovery: the same path delivers again.
+        assert!(n.send(t(400), src, dst, 1, 0, 1024).arrival().is_some());
+        assert_eq!(n.pending_fault_events(), 0);
+    }
+
+    #[test]
+    fn fault_plan_down_since_uses_event_time_not_send_time() {
+        // The first packet arrives long after the scheduled failure; BGP
+        // convergence must be clocked from the fault, so the reroute is
+        // already active.
+        let mut n = net();
+        let src = n.topology().nic(0, 0);
+        let dst = n.topology().nic(4, 0);
+        let link = n.topology().route(src, dst, 1, 0)[1];
+        n.install_fault_plan(crate::FaultPlan::new(1).link_down(t(10), link));
+        let after = t(10) + n.config().bgp_convergence + SimDuration::from_micros(1);
+        assert!(
+            n.send(after, src, dst, 1, 0, 1024).arrival().is_some(),
+            "convergence clock must start at the scheduled fault time"
+        );
+    }
+
+    #[test]
+    fn degrade_ramp_loss_grows_over_the_window() {
+        let mut n = net();
+        let src = n.topology().nic(0, 0);
+        let dst = n.topology().nic(4, 0);
+        let link = n.topology().route(src, dst, 1, 0)[1];
+        n.install_fault_plan(crate::FaultPlan::new(2).degrade(
+            t(0),
+            link,
+            0.0,
+            0.5,
+            SimDuration::from_micros(1000),
+        ));
+        // Early in the ramp: low loss. Late: approaches 50%.
+        let mut early = 0;
+        let mut late = 0;
+        for i in 0..200u64 {
+            if n.send(t(i), src, dst, 1, 0, 64).arrival().is_none() {
+                early += 1;
+            }
+        }
+        for i in 0..200u64 {
+            if n.send(t(2000 + i), src, dst, 1, 0, 64).arrival().is_none() {
+                late += 1;
+            }
+        }
+        assert!(late > early + 20, "early={early} late={late}");
+        assert!(n.drops_by_reason(DropReason::DegradedLink) > 0);
+        assert_eq!(n.drops_by_reason(DropReason::RandomLoss), 0);
+        assert!((n.degraded_loss_at(link, t(2000)) - 0.5).abs() < 1e-9);
+        assert!(n.degraded_loss_at(link, t(500)) < 0.3);
+    }
+
+    #[test]
+    fn switch_death_kills_all_attached_links_atomically() {
+        let mut n = net();
+        let src = n.topology().nic(0, 0);
+        let dst = n.topology().nic(4, 0);
+        // Find the agg switch that (flow 1, path 0) crosses and kill it.
+        let uplink = n.topology().route(src, dst, 1, 0)[1];
+        let (_, agg) = n.topology().link_endpoints(uplink);
+        assert!(matches!(
+            n.topology().node_kind(agg),
+            crate::NodeKind::Agg { .. }
+        ));
+        n.install_fault_plan(crate::FaultPlan::new(3).switch_down(t(10), agg));
+        let d = n.send(t(20), src, dst, 1, 0, 64);
+        assert!(matches!(
+            d,
+            Delivery::Dropped {
+                reason: DropReason::LinkDown,
+                ..
+            }
+        ));
+        // Every link touching the switch is down, so the reverse path
+        // through it is dead too — but other aggs still carry traffic.
+        let ok = (1..32).any(|p| n.send(t(21), src, dst, 1, p, 64).arrival().is_some());
+        assert!(ok, "other aggregation switches must survive");
+    }
+
+    #[test]
+    fn nic_port_failure_blackholes_one_plane() {
+        let mut n = net();
+        let src = n.topology().nic(0, 0);
+        let dst = n.topology().nic(4, 0);
+        // Find a path on plane 0 and one on plane 1 of the source NIC.
+        let mut by_plane = [None, None];
+        for p in 0..32 {
+            let up0 = n.topology().route(src, dst, 1, p)[0];
+            for (plane, slot) in by_plane.iter_mut().enumerate() {
+                if up0 == n.topology().nic_port_links(src, plane).0 {
+                    slot.get_or_insert(p);
+                }
+            }
+        }
+        let (p0, p1) = (by_plane[0].unwrap(), by_plane[1].unwrap());
+        n.install_fault_plan(crate::FaultPlan::new(4).nic_port_down(t(5), src, 0));
+        assert!(n.send(t(10), src, dst, 1, p0, 64).arrival().is_none());
+        assert!(
+            n.send(t(10), src, dst, 1, p1, 64).arrival().is_some(),
+            "the other plane's port must stay up"
+        );
     }
 
     #[test]

@@ -256,6 +256,44 @@ impl ClosTopology {
         self.links[link.0 as usize]
     }
 
+    /// Every directed link touching `node` (either endpoint) — the set a
+    /// switch failure takes down atomically.
+    pub fn links_of_node(&self, node: NodeId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, &(from, to))| from == node || to == node)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
+    /// The `(uplink, downlink)` pair of one NIC port: the two directed
+    /// links between `nic` and its plane-`plane` ToR. A NIC-port failure
+    /// takes both down.
+    pub fn nic_port_links(&self, nic: NicId, plane: usize) -> (LinkId, LinkId) {
+        assert!(plane < self.config.planes, "plane out of range");
+        let idx = nic.0 as usize;
+        (self.nic_up[idx][plane], self.nic_down[idx][plane])
+    }
+
+    /// The ToR node for `(segment, rail, plane)`.
+    pub fn tor_node(&self, segment: usize, rail: usize, plane: usize) -> NodeId {
+        assert!(segment < self.config.segments, "segment out of range");
+        assert!(rail < self.config.rails, "rail out of range");
+        assert!(plane < self.config.planes, "plane out of range");
+        let tor_base = self.total_nics();
+        NodeId((tor_base + self.dense_tor(segment, rail, plane)) as u32)
+    }
+
+    /// The aggregation-switch node for `(plane, index)`.
+    pub fn agg_node(&self, plane: usize, index: usize) -> NodeId {
+        assert!(plane < self.config.planes, "plane out of range");
+        assert!(index < self.config.aggs_per_plane, "agg index out of range");
+        let agg_base =
+            self.total_nics() + self.config.segments * self.config.rails * self.config.planes;
+        NodeId((agg_base + plane * self.config.aggs_per_plane + index) as u32)
+    }
+
     /// The node descriptor.
     pub fn node_kind(&self, node: NodeId) -> NodeKind {
         self.nodes[node.0 as usize]

@@ -1,8 +1,10 @@
 //! Property tests for topology routing and the link-calendar fabric.
 
-use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig};
+use stellar_net::{
+    ClosConfig, ClosTopology, Delivery, DropReason, FaultPlan, Network, NetworkConfig,
+};
 use stellar_sim::proptest_lite::{check, Gen};
-use stellar_sim::{SimRng, SimTime};
+use stellar_sim::{SimDuration, SimRng, SimTime};
 
 fn arb_topo(g: &mut Gen) -> ClosTopology {
     ClosTopology::build(ClosConfig {
@@ -109,6 +111,108 @@ fn link_byte_accounting() {
             assert_eq!(st.tx_packets, packets);
             assert_eq!(st.tx_bytes, packets * 4096);
         }
+    });
+}
+
+/// An identical seed and fault plan replay a byte-identical packet-fate
+/// sequence and drop counters — faults are schedule, not happenstance.
+#[test]
+fn fault_plan_replays_identical_drop_sequences() {
+    check("fault_plan_replays_identical_drop_sequences", 32, |g| {
+        let seed = g.u64(0, 1000);
+        let flaps = g.u32(1, 6);
+        let run = || {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 2,
+                hosts_per_segment: 2,
+                rails: 1,
+                planes: 2,
+                aggs_per_plane: 4,
+            });
+            let mut net = Network::new(topo, NetworkConfig::default(), SimRng::from_seed(seed));
+            let src = net.topology().nic(0, 0);
+            let dst = net.topology().nic(2, 0);
+            let links: Vec<_> = (0..8)
+                .map(|p| net.topology().route(src, dst, 1, p)[1])
+                .collect();
+            let plan = FaultPlan::new(seed).flap_storm(
+                &links,
+                SimTime::from_nanos(10_000),
+                SimDuration::from_micros(500),
+                flaps,
+                SimDuration::from_micros(20),
+                SimDuration::from_micros(120),
+            );
+            net.install_fault_plan(plan);
+            net.enable_trace(4096);
+            for i in 0..400u64 {
+                net.send(SimTime::from_nanos(i * 2_000), src, dst, 1, (i % 8) as u32, 4096);
+            }
+            let fates: Vec<(SimTime, Delivery)> = net
+                .take_trace()
+                .into_iter()
+                .map(|r| (r.sent, r.delivery))
+                .collect();
+            let drops: Vec<u64> = DropReason::ALL
+                .iter()
+                .map(|&r| net.drops_by_reason(r))
+                .collect();
+            (fates, drops)
+        };
+        assert_eq!(run(), run());
+    });
+}
+
+/// A planned flap blackholes the link for exactly its down window: sends
+/// during the outage drop with `DropReason::LinkDown`, and the first send
+/// at or after the up event forwards again with no convergence wait.
+#[test]
+fn planned_flap_up_restores_forwarding() {
+    check("planned_flap_up_restores_forwarding", 64, |g| {
+        let seed = g.u64(0, 100);
+        let down_at = 1_000 + g.u64(0, 10_000);
+        let down_for = 1 + g.u64(0, 50_000);
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 2,
+            rails: 1,
+            planes: 1,
+            aggs_per_plane: 1,
+        });
+        // BGP far in the future: nothing can reroute around the outage,
+        // so recovery is attributable only to the planned up event.
+        let mut net = Network::new(
+            topo,
+            NetworkConfig {
+                bgp_convergence: SimDuration::from_millis(500),
+                ..NetworkConfig::default()
+            },
+            SimRng::from_seed(seed),
+        );
+        let src = net.topology().nic(0, 0);
+        let dst = net.topology().nic(2, 0);
+        let link = net.topology().route(src, dst, 1, 0)[1];
+        let plan = FaultPlan::new(seed).flap(
+            link,
+            SimTime::from_nanos(down_at),
+            SimDuration::from_nanos(down_for),
+            SimDuration::from_nanos(1),
+            1,
+        );
+        net.install_fault_plan(plan);
+        let mid = net.send(SimTime::from_nanos(down_at), src, dst, 1, 0, 64);
+        assert!(
+            matches!(
+                mid,
+                Delivery::Dropped {
+                    reason: DropReason::LinkDown,
+                    ..
+                }
+            ),
+            "during the outage: {mid:?}"
+        );
+        let after = net.send(SimTime::from_nanos(down_at + down_for), src, dst, 1, 0, 64);
+        assert!(after.arrival().is_some(), "after the up event: {after:?}");
     });
 }
 

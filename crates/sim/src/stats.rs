@@ -258,6 +258,17 @@ pub fn imbalance(loads: &[f64], capacity: f64) -> f64 {
     (max - min) / capacity
 }
 
+/// Arithmetic mean, or `None` for an empty slice — so "no samples" is
+/// never conflated with a real mean of zero (a collapsed-phase busbw of
+/// 0.0 and an unpopulated phase window must stay distinguishable).
+pub fn mean(vals: &[f64]) -> Option<f64> {
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
 /// Throughput in Gbps for `bytes` transferred over `elapsed`.
 pub fn gbps(bytes: u64, elapsed: SimDuration) -> f64 {
     if elapsed.as_nanos() == 0 {
@@ -368,5 +379,12 @@ mod tests {
         // 100 bytes in 8 ns = 100 Gbps.
         assert!((gbps(100, SimDuration::from_nanos(8)) - 100.0).abs() < 1e-9);
         assert_eq!(gbps(100, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mean_distinguishes_empty_from_zero() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[0.0]), Some(0.0));
+        assert!((mean(&[1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
     }
 }

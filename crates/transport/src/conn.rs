@@ -132,8 +132,45 @@ impl std::fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
+/// Why a connection entered the terminal [`ConnState::Error`] state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FatalError {
+    /// One packet was retransmitted `retries` times without an ACK —
+    /// the IB `retry_cnt` exceeded semantics. The QP is broken; the
+    /// application must tear down and re-establish.
+    RetryBudgetExhausted {
+        /// Sequence number of the packet that exhausted the budget.
+        seq: u64,
+        /// Retransmissions attempted before giving up.
+        retries: u32,
+    },
+}
+
+impl std::fmt::Display for FatalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FatalError::RetryBudgetExhausted { seq, retries } => {
+                write!(f, "retry budget exhausted: seq {seq} after {retries} retransmits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FatalError {}
+
+/// Connection lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnState {
+    /// Transmitting normally.
+    #[default]
+    Active,
+    /// Terminal error — the transport gave up (see
+    /// [`Connection::fatal`]); no further packets are sent or accepted.
+    Error,
+}
+
 /// Cumulative connection statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConnStats {
     /// Packets sent (first transmissions).
     pub sent_packets: u64,
@@ -153,6 +190,37 @@ pub struct ConnStats {
     pub acks: u64,
     /// Two-sided sends rejected with RNR (no receive posted).
     pub rnr_naks: u64,
+}
+
+impl ConnStats {
+    /// Field-wise accumulation (see `TransportSim::total_stats`).
+    pub fn merge(&mut self, other: &ConnStats) {
+        self.sent_packets += other.sent_packets;
+        self.retransmits += other.retransmits;
+        self.rto_events += other.rto_events;
+        self.delivered_packets += other.delivered_packets;
+        self.delivered_bytes += other.delivered_bytes;
+        self.completed_messages += other.completed_messages;
+        self.ecn_acks += other.ecn_acks;
+        self.acks += other.acks;
+        self.rnr_naks += other.rnr_naks;
+    }
+}
+
+impl std::ops::AddAssign for ConnStats {
+    fn add_assign(&mut self, other: ConnStats) {
+        self.merge(&other);
+    }
+}
+
+impl std::iter::Sum for ConnStats {
+    fn sum<I: Iterator<Item = ConnStats>>(iter: I) -> ConnStats {
+        let mut total = ConnStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
 }
 
 /// One RC connection (sender and receiver state in one place — both ends
@@ -177,6 +245,10 @@ pub struct Connection {
     pub recv_queue: VecDeque<u64>,
     /// Statistics.
     pub stats: ConnStats,
+    /// Lifecycle state ([`ConnState::Error`] is terminal).
+    pub state: ConnState,
+    /// The error that killed the connection, if any.
+    pub fatal: Option<FatalError>,
     next_seq: u64,
     next_msg: u64,
 }
@@ -194,6 +266,8 @@ impl Connection {
             messages: HashMap::new(),
             recv_queue: VecDeque::new(),
             stats: ConnStats::default(),
+            state: ConnState::Active,
+            fatal: None,
             next_seq: 0,
             next_msg: 0,
         }
@@ -386,5 +460,37 @@ mod tests {
         assert!(c.is_idle());
         c.post_message(SimTime::ZERO, 100, 4096);
         assert!(!c.is_idle());
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise() {
+        let a = ConnStats {
+            sent_packets: 1,
+            retransmits: 2,
+            rto_events: 3,
+            delivered_packets: 4,
+            delivered_bytes: 5,
+            completed_messages: 6,
+            ecn_acks: 7,
+            acks: 8,
+            rnr_naks: 9,
+        };
+        let total: ConnStats = [a, a, a].into_iter().sum();
+        assert_eq!(total.sent_packets, 3);
+        assert_eq!(total.retransmits, 6);
+        assert_eq!(total.rto_events, 9);
+        assert_eq!(total.delivered_packets, 12);
+        assert_eq!(total.delivered_bytes, 15);
+        assert_eq!(total.completed_messages, 18);
+        assert_eq!(total.ecn_acks, 21);
+        assert_eq!(total.acks, 24);
+        assert_eq!(total.rnr_naks, 27);
+    }
+
+    #[test]
+    fn new_connection_is_active_without_error() {
+        let c = conn();
+        assert_eq!(c.state, ConnState::Active);
+        assert!(c.fatal.is_none());
     }
 }

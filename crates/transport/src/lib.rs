@@ -26,6 +26,6 @@ pub mod path;
 pub mod sim;
 
 pub use cc::{CcConfig, CongestionControl};
-pub use conn::{ConnId, ConnStats, MsgId, SendError};
-pub use path::{PathAlgo, PathSelector};
+pub use conn::{ConnId, ConnState, ConnStats, FatalError, MsgId, SendError};
+pub use path::{PathAlgo, PathSelector, ScoreboardPolicy};
 pub use sim::{App, NoopApp, TransportConfig, TransportSim};

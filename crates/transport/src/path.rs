@@ -43,6 +43,33 @@ pub enum PathAlgo {
     PathAware,
 }
 
+/// Loss-scoreboard policy: how many consecutive losses blacklist a path,
+/// and for how long. During a link failure the paths crossing it rack up
+/// consecutive RTOs within one or two timeouts — long before BGP
+/// converges — so the scoreboard steers retransmissions *and* fresh
+/// packets away from the dead route almost immediately (§7.2's
+/// "retransmission on a different path", generalized to remember which
+/// paths are bad).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreboardPolicy {
+    /// Consecutive losses (no intervening ACK) before a path is
+    /// blacklisted. `0` disables the scoreboard entirely.
+    pub blacklist_after: u32,
+    /// How long a blacklisted path sits out before it may be retried.
+    /// Any ACK on the path clears the blacklist early (the path proved
+    /// itself healthy again, e.g. after a flap back up).
+    pub penalty: SimDuration,
+}
+
+impl Default for ScoreboardPolicy {
+    fn default() -> Self {
+        ScoreboardPolicy {
+            blacklist_after: 2,
+            penalty: SimDuration::from_millis(2),
+        }
+    }
+}
+
 /// Observed state of one path.
 #[derive(Debug, Clone)]
 pub struct PathState {
@@ -54,6 +81,10 @@ pub struct PathState {
     pub inflight_packets: u64,
     /// Packets ever sent on this path (for distribution tests).
     pub sent_packets: u64,
+    /// Losses since the last ACK on this path (scoreboard input).
+    pub consecutive_losses: u32,
+    /// The path is blacklisted until this time (ZERO = not blacklisted).
+    pub blacklisted_until: SimTime,
     dwrr_deficit: f64,
 }
 
@@ -64,6 +95,8 @@ impl Default for PathState {
             ecn_ewma: 0.0,
             inflight_packets: 0,
             sent_packets: 0,
+            consecutive_losses: 0,
+            blacklisted_until: SimTime::ZERO,
             dwrr_deficit: 0.0,
         }
     }
@@ -80,12 +113,17 @@ pub struct PathSelector {
     flowlet_last_send: SimTime,
     /// REPS-style recycle queue: path ids whose last ACK was clean.
     recycled: Vec<u32>,
+    scoreboard: ScoreboardPolicy,
+    /// Latest `blacklisted_until` ever set — lets the healthy fast path
+    /// skip the blacklist scan (and its extra RNG draws) entirely.
+    max_blacklist_until: SimTime,
 }
 
 impl PathSelector {
-    /// A selector over `num_paths` paths.
+    /// A selector over `num_paths` paths (default scoreboard policy).
     pub fn new(algo: PathAlgo, num_paths: u32, rng: SimRng) -> Self {
         assert!(num_paths >= 1, "need at least one path");
+        assert!(num_paths <= 256, "at most 256 paths (paper's sweep ceiling)");
         PathSelector {
             algo,
             paths: (0..num_paths).map(|_| PathState::default()).collect(),
@@ -94,7 +132,29 @@ impl PathSelector {
             flowlet_path: 0,
             flowlet_last_send: SimTime::ZERO,
             recycled: Vec::new(),
+            scoreboard: ScoreboardPolicy::default(),
+            max_blacklist_until: SimTime::ZERO,
         }
+    }
+
+    /// Replace the loss-scoreboard policy.
+    pub fn set_scoreboard(&mut self, policy: ScoreboardPolicy) {
+        self.scoreboard = policy;
+    }
+
+    /// The loss-scoreboard policy in use.
+    pub fn scoreboard(&self) -> ScoreboardPolicy {
+        self.scoreboard
+    }
+
+    /// Whether `path` is blacklisted at `now`.
+    pub fn is_blacklisted(&self, path: u32, now: SimTime) -> bool {
+        self.paths[path as usize].blacklisted_until > now
+    }
+
+    /// Number of paths blacklisted at `now`.
+    pub fn blacklisted_count(&self, now: SimTime) -> usize {
+        self.paths.iter().filter(|p| p.blacklisted_until > now).count()
     }
 
     /// Number of configured paths.
@@ -126,8 +186,44 @@ impl PathSelector {
     }
 
     /// Like [`PathSelector::select`], with the current simulation time —
-    /// required by time-sensitive algorithms (flowlet switching).
+    /// required by time-sensitive algorithms (flowlet switching) and the
+    /// loss scoreboard (blacklist expiry).
+    ///
+    /// Blacklisted paths are filtered out first; if that leaves no viable
+    /// path (every path blacklisted, or the constraints too tight), the
+    /// blacklist is ignored rather than stalling the connection — a
+    /// wrong path beats no path, since there is no wake-up event for a
+    /// blacklist expiring.
     pub fn select_at(
+        &mut self,
+        now: SimTime,
+        exclude: Option<u32>,
+        allowed: &dyn Fn(u32) -> bool,
+    ) -> Option<u32> {
+        // Healthy fast path: no active blacklist, no extra RNG draws —
+        // keeps fault-free runs byte-identical to the unhardened selector.
+        if self.max_blacklist_until > now && self.paths.len() > 1 {
+            let mut mask = [0u64; 4];
+            let mut any = false;
+            for (i, st) in self.paths.iter().enumerate() {
+                if st.blacklisted_until > now {
+                    mask[i / 64] |= 1 << (i % 64);
+                    any = true;
+                }
+            }
+            if any {
+                let filtered = |p: u32| -> bool {
+                    mask[(p / 64) as usize] & (1 << (p % 64)) == 0 && allowed(p)
+                };
+                if let Some(p) = self.select_inner(now, exclude, &filtered) {
+                    return Some(p);
+                }
+            }
+        }
+        self.select_inner(now, exclude, allowed)
+    }
+
+    fn select_inner(
         &mut self,
         now: SimTime,
         exclude: Option<u32>,
@@ -301,6 +397,9 @@ impl PathSelector {
         }
         let st = &mut self.paths[path as usize];
         st.inflight_packets = st.inflight_packets.saturating_sub(1);
+        // An ACK proves the path forwards again: clear the scoreboard.
+        st.consecutive_losses = 0;
+        st.blacklisted_until = SimTime::ZERO;
         st.rtt_ewma = if st.rtt_ewma == SimDuration::ZERO {
             rtt
         } else {
@@ -318,6 +417,24 @@ impl PathSelector {
         st.inflight_packets = st.inflight_packets.saturating_sub(1);
         // A loss is worse than an ECN mark; poison the EWMA.
         st.ecn_ewma = st.ecn_ewma * 0.5 + 0.5;
+    }
+
+    /// Note a loss at `now`, feeding the scoreboard: after
+    /// [`ScoreboardPolicy::blacklist_after`] consecutive losses the path
+    /// is blacklisted for [`ScoreboardPolicy::penalty`].
+    pub fn on_loss_at(&mut self, now: SimTime, path: u32) {
+        self.on_loss(path);
+        if self.scoreboard.blacklist_after == 0 {
+            return;
+        }
+        let st = &mut self.paths[path as usize];
+        st.consecutive_losses += 1;
+        if st.consecutive_losses >= self.scoreboard.blacklist_after {
+            st.blacklisted_until = now + self.scoreboard.penalty;
+            if st.blacklisted_until > self.max_blacklist_until {
+                self.max_blacklist_until = st.blacklisted_until;
+            }
+        }
     }
 
     /// Count of paths that ever carried a packet.
@@ -536,6 +653,110 @@ mod tests {
         let mut s = selector(PathAlgo::Obs, 2);
         for _ in 0..20 {
             assert_eq!(s.select(Some(1), &ALL), Some(0));
+        }
+    }
+
+    #[test]
+    fn scoreboard_blacklists_after_consecutive_losses() {
+        let mut s = selector(PathAlgo::Obs, 8);
+        let now = SimTime::from_nanos(1_000_000);
+        s.on_loss_at(now, 3);
+        assert!(!s.is_blacklisted(3, now), "one loss must not blacklist");
+        s.on_loss_at(now, 3);
+        assert!(s.is_blacklisted(3, now));
+        assert_eq!(s.blacklisted_count(now), 1);
+        // The blacklist expires after the penalty window.
+        let later = now + s.scoreboard().penalty + SimDuration::from_nanos(1);
+        assert!(!s.is_blacklisted(3, later));
+    }
+
+    #[test]
+    fn selection_avoids_blacklisted_paths() {
+        let mut s = selector(PathAlgo::Obs, 4);
+        let now = SimTime::from_nanos(500);
+        for p in [1u32, 2, 3] {
+            s.on_loss_at(now, p);
+            s.on_loss_at(now, p);
+        }
+        for _ in 0..50 {
+            assert_eq!(s.select_at(now, None, &ALL), Some(0));
+        }
+    }
+
+    #[test]
+    fn all_paths_blacklisted_falls_back_instead_of_stalling() {
+        let mut s = selector(PathAlgo::RoundRobin, 4);
+        let now = SimTime::from_nanos(500);
+        for p in 0..4 {
+            s.on_loss_at(now, p);
+            s.on_loss_at(now, p);
+        }
+        assert_eq!(s.blacklisted_count(now), 4);
+        assert!(
+            s.select_at(now, None, &ALL).is_some(),
+            "a fully-blacklisted selector must still pick something"
+        );
+    }
+
+    #[test]
+    fn ack_clears_blacklist_early() {
+        let mut s = selector(PathAlgo::Obs, 4);
+        let now = SimTime::from_nanos(500);
+        s.on_loss_at(now, 2);
+        s.on_loss_at(now, 2);
+        assert!(s.is_blacklisted(2, now));
+        s.on_ack(2, SimDuration::from_micros(10), false);
+        assert!(!s.is_blacklisted(2, now));
+        assert_eq!(s.path(2).consecutive_losses, 0);
+    }
+
+    #[test]
+    fn intervening_ack_resets_consecutive_losses() {
+        let mut s = selector(PathAlgo::Obs, 4);
+        let now = SimTime::from_nanos(500);
+        s.on_loss_at(now, 1);
+        s.on_ack(1, SimDuration::from_micros(10), false);
+        s.on_loss_at(now, 1);
+        assert!(
+            !s.is_blacklisted(1, now),
+            "losses separated by an ACK are not consecutive"
+        );
+    }
+
+    #[test]
+    fn scoreboard_disabled_never_blacklists() {
+        let mut s = selector(PathAlgo::Obs, 4);
+        s.set_scoreboard(ScoreboardPolicy {
+            blacklist_after: 0,
+            penalty: SimDuration::from_millis(2),
+        });
+        let now = SimTime::from_nanos(500);
+        for _ in 0..10 {
+            s.on_loss_at(now, 0);
+        }
+        assert_eq!(s.blacklisted_count(now), 0);
+    }
+
+    #[test]
+    fn healthy_selector_rng_stream_matches_unhardened() {
+        // The blacklist filter must not consume RNG draws when nothing is
+        // blacklisted: two selectors, one taking (ignored) scoreboard
+        // feedback that never reaches the threshold, pick identically.
+        let mut a = selector(PathAlgo::Obs, 64);
+        let mut b = selector(PathAlgo::Obs, 64);
+        let now = SimTime::from_nanos(100);
+        for i in 0..500u64 {
+            let t = now + SimDuration::from_nanos(i);
+            let pa = a.select_at(t, None, &ALL);
+            let pb = b.select_at(t, None, &ALL);
+            assert_eq!(pa, pb);
+            if i % 7 == 0 {
+                // One loss (below blacklist_after=2), then an ACK.
+                b.on_loss_at(t, pb.unwrap());
+                b.on_ack(pb.unwrap(), SimDuration::from_micros(5), false);
+                a.on_loss(pa.unwrap());
+                a.on_ack(pa.unwrap(), SimDuration::from_micros(5), false);
+            }
         }
     }
 }

@@ -11,7 +11,9 @@ use stellar_net::{Delivery, Network, NicId};
 use stellar_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::cc::{CcConfig, CongestionControl};
-use crate::conn::{ConnId, ConnStats, Connection, InflightPacket, MsgId, SendError};
+use crate::conn::{
+    ConnId, ConnState, ConnStats, Connection, FatalError, InflightPacket, MsgId, SendError,
+};
 use crate::path::{PathAlgo, PathSelector};
 
 /// Transport parameters (§7.2's three key knobs plus the CC profile).
@@ -26,6 +28,22 @@ pub struct TransportConfig {
     /// Retransmission timeout ("250 µs ... chosen for our low-latency
     /// data center topology").
     pub rto: SimDuration,
+    /// Exponential RTO backoff factor: the timeout for retransmit epoch
+    /// `k` is `rto × rto_backoff^k`, capped at [`rto_max`]. `1.0`
+    /// disables backoff (the pre-hardening fixed-RTO behaviour).
+    ///
+    /// [`rto_max`]: TransportConfig::rto_max
+    pub rto_backoff: f64,
+    /// Upper bound on the backed-off RTO.
+    pub rto_max: SimDuration,
+    /// Consecutive retransmissions of a single packet before the
+    /// connection gives up and enters the terminal error state (the IB
+    /// `retry_cnt` semantics, except unbounded budgets are not offered —
+    /// an unreachable peer must surface as an error, not an infinite
+    /// retransmit loop).
+    pub retry_budget: u32,
+    /// Loss-scoreboard policy for path blacklisting.
+    pub scoreboard: crate::path::ScoreboardPolicy,
     /// Congestion-control parameters.
     pub cc: CcConfig,
     /// §9 ablation: one congestion-control context per path instead of a
@@ -45,6 +63,10 @@ impl Default for TransportConfig {
             num_paths: 128,
             mtu: 4096,
             rto: SimDuration::from_micros(250),
+            rto_backoff: 2.0,
+            rto_max: SimDuration::from_millis(4),
+            retry_budget: 16,
+            scoreboard: crate::path::ScoreboardPolicy::default(),
             cc: CcConfig::default(),
             per_path_cc: false,
             pace_gbps: None,
@@ -62,6 +84,15 @@ pub trait App {
     /// Default: ignore. Used by on/off (bursty) workloads.
     fn on_timer(&mut self, sim: &mut TransportSim, token: u64) {
         let _ = (sim, token);
+    }
+
+    /// `conn` hit a fatal transport error (retry budget exhausted) and
+    /// entered the terminal [`ConnState`]`::Error` state: all queued and
+    /// in-flight traffic was discarded and no further packets will flow.
+    /// Default: ignore (the state is still queryable via
+    /// [`TransportSim::conn_state`]).
+    fn on_connection_error(&mut self, sim: &mut TransportSim, conn: ConnId, error: FatalError) {
+        let _ = (sim, conn, error);
     }
 }
 
@@ -106,6 +137,7 @@ pub struct TransportSim {
     queue: EventQueue<Ev>,
     conns: Vec<ConnRuntime>,
     completions: Vec<(ConnId, MsgId)>,
+    errors: Vec<(ConnId, FatalError)>,
     rng: SimRng,
 }
 
@@ -118,6 +150,7 @@ impl TransportSim {
             queue: EventQueue::new(),
             conns: Vec::new(),
             completions: Vec::new(),
+            errors: Vec::new(),
             rng,
         }
     }
@@ -151,13 +184,15 @@ impl TransportSim {
             1
         };
         let ack_delay = self.network.control_rtt_component(dst, src);
+        let mut selector = PathSelector::new(
+            self.config.algo,
+            self.config.num_paths,
+            self.rng.fork_idx("conn", id.0 as u64),
+        );
+        selector.set_scoreboard(self.config.scoreboard);
         self.conns.push(ConnRuntime {
             conn: Connection::new(id, src, dst),
-            selector: PathSelector::new(
-                self.config.algo,
-                self.config.num_paths,
-                self.rng.fork_idx("conn", id.0 as u64),
-            ),
+            selector,
             ccs: (0..cc_count)
                 .map(|_| CongestionControl::new(self.config.cc.clone()))
                 .collect(),
@@ -207,6 +242,29 @@ impl TransportSim {
         self.conns[conn.0 as usize].conn.stats
     }
 
+    /// Aggregate statistics over every connection (field-wise sum).
+    pub fn total_stats(&self) -> ConnStats {
+        self.conns.iter().map(|c| c.conn.stats).sum()
+    }
+
+    /// Lifecycle state of one connection.
+    pub fn conn_state(&self, conn: ConnId) -> ConnState {
+        self.conns[conn.0 as usize].conn.state
+    }
+
+    /// The fatal error that killed `conn`, if it is in the error state.
+    pub fn conn_error(&self, conn: ConnId) -> Option<FatalError> {
+        self.conns[conn.0 as usize].conn.fatal
+    }
+
+    /// Number of connections in the terminal error state.
+    pub fn error_count(&self) -> usize {
+        self.conns
+            .iter()
+            .filter(|c| c.conn.state == ConnState::Error)
+            .count()
+    }
+
     /// The path selector of a connection (distribution inspection).
     pub fn selector(&self, conn: ConnId) -> &PathSelector {
         &self.conns[conn.0 as usize].selector
@@ -251,6 +309,34 @@ impl TransportSim {
             .sum()
     }
 
+    /// The RTO for retransmit epoch `epoch`:
+    /// `min(rto × rto_backoff^epoch, rto_max)`.
+    fn rto_after(&self, epoch: u32) -> SimDuration {
+        if self.config.rto_backoff <= 1.0 || epoch == 0 {
+            return self.config.rto;
+        }
+        let scaled =
+            self.config.rto.as_nanos() as f64 * self.config.rto_backoff.powi(epoch as i32);
+        let capped = scaled.min(self.config.rto_max.as_nanos() as f64);
+        SimDuration::from_nanos(capped as u64)
+    }
+
+    /// Tear down `conn` with a fatal error: discard queued and in-flight
+    /// traffic (stale Deliver/Ack/Rto events become no-ops) and queue the
+    /// [`App::on_connection_error`] callback.
+    fn fail_connection(&mut self, conn_id: ConnId, error: FatalError) {
+        let rt = &mut self.conns[conn_id.0 as usize];
+        if rt.conn.state == ConnState::Error {
+            return;
+        }
+        rt.conn.state = ConnState::Error;
+        rt.conn.fatal = Some(error);
+        rt.conn.unsent.clear();
+        rt.conn.inflight.clear();
+        rt.conn.inflight_bytes = 0;
+        self.errors.push((conn_id, error));
+    }
+
     fn cc_index(&self, conn: ConnId, path: u32) -> usize {
         if self.config.per_path_cc {
             let _ = conn;
@@ -270,6 +356,9 @@ impl TransportSim {
         let pace = self.config.pace_gbps;
         loop {
             let rt = &mut self.conns[conn_id.0 as usize];
+            if rt.conn.state == ConnState::Error {
+                break;
+            }
             let Some(&pkt) = rt.conn.unsent.front() else {
                 break;
             };
@@ -416,23 +505,34 @@ impl TransportSim {
 
     fn handle_rto(&mut self, conn_id: ConnId, seq: u64, epoch: u32) {
         let now = self.now();
-        let rto = self.config.rto;
 
         let (old_path, new_path, bytes, src, dst);
         {
             let rt = &mut self.conns[conn_id.0 as usize];
             let Some(pkt) = rt.conn.inflight.get(&seq) else {
-                return; // ACKed in the meantime
+                return; // ACKed in the meantime (or the connection died)
             };
             if pkt.retx != epoch {
                 return; // a newer transmission owns the timer
+            }
+            // Retry budget: a packet that times out this many times in a
+            // row means the peer is unreachable on every path tried — a
+            // terminal QP error, not another retransmission.
+            if pkt.retx >= self.config.retry_budget {
+                let retries = pkt.retx;
+                self.fail_connection(
+                    conn_id,
+                    FatalError::RetryBudgetExhausted { seq, retries },
+                );
+                return;
             }
             old_path = pkt.path;
             bytes = pkt.bytes;
             src = rt.conn.src;
             dst = rt.conn.dst;
             rt.conn.stats.rto_events += 1;
-            rt.selector.on_loss(old_path);
+            // Feed the loss scoreboard: repeated losses blacklist the path.
+            rt.selector.on_loss_at(now, old_path);
             // Retransmit on a different path for instant recovery.
             new_path = rt
                 .selector
@@ -465,8 +565,10 @@ impl TransportSim {
                 },
             );
         }
+        // Exponential backoff: each retransmit epoch waits longer (up to
+        // rto_max) before declaring the copy lost.
         self.queue.schedule(
-            now + rto,
+            now + self.rto_after(epoch + 1),
             Ev::Rto {
                 conn: conn_id,
                 seq,
@@ -496,6 +598,9 @@ impl TransportSim {
             }
             while let Some((c, m)) = pop_front(&mut self.completions) {
                 app.on_message_complete(self, c, m);
+            }
+            while let Some((c, e)) = pop_front(&mut self.errors) {
+                app.on_connection_error(self, c, e);
             }
         }
     }
@@ -817,6 +922,156 @@ mod tests {
         let p50 = h.p50().unwrap();
         let max = h.max().unwrap();
         assert!(max > p50 * 10, "p50={p50} max={max}");
+    }
+
+    #[test]
+    fn rto_backoff_grows_and_caps() {
+        let sim = make_sim(PathAlgo::Obs, 4, 1);
+        // Defaults: rto 250 µs, backoff 2.0, cap 4 ms.
+        assert_eq!(sim.rto_after(0), SimDuration::from_micros(250));
+        assert_eq!(sim.rto_after(1), SimDuration::from_micros(500));
+        assert_eq!(sim.rto_after(2), SimDuration::from_micros(1000));
+        assert_eq!(sim.rto_after(4), SimDuration::from_millis(4));
+        assert_eq!(sim.rto_after(30), SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_error() {
+        // Cut the destination NIC off entirely (both planes) with slow
+        // BGP so no reroute ever helps: the retry budget must trip and
+        // the connection must die instead of retransmitting forever.
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 4,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 8,
+        });
+        let rng = SimRng::from_seed(9);
+        let net_cfg = NetworkConfig {
+            bgp_convergence: SimDuration::from_millis(10_000),
+            ..NetworkConfig::default()
+        };
+        let network = Network::new(topo, net_cfg, rng.fork("net"));
+        let mut sim = TransportSim::new(
+            network,
+            TransportConfig {
+                algo: PathAlgo::Obs,
+                num_paths: 32,
+                retry_budget: 6,
+                ..TransportConfig::default()
+            },
+            rng.fork("t"),
+        );
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let conn = sim.add_connection(src, dst);
+        for plane in 0..2 {
+            let (up, down) = sim.network().topology().nic_port_links(dst, plane);
+            sim.network_mut().set_link_up(up, false);
+            sim.network_mut().set_link_up(down, false);
+        }
+        struct Watch {
+            errors: Vec<(ConnId, FatalError)>,
+        }
+        impl App for Watch {
+            fn on_message_complete(&mut self, _s: &mut TransportSim, _c: ConnId, _m: MsgId) {}
+            fn on_connection_error(
+                &mut self,
+                _s: &mut TransportSim,
+                c: ConnId,
+                e: FatalError,
+            ) {
+                self.errors.push((c, e));
+            }
+        }
+        sim.post_message(conn, 64 * 1024);
+        let mut app = Watch { errors: Vec::new() };
+        sim.run(&mut app, FOREVER);
+        assert_eq!(sim.conn_state(conn), ConnState::Error);
+        assert_eq!(sim.error_count(), 1);
+        assert_eq!(app.errors.len(), 1);
+        let (c, e) = app.errors[0];
+        assert_eq!(c, conn);
+        assert!(matches!(
+            e,
+            FatalError::RetryBudgetExhausted { retries: 6, .. }
+        ));
+        assert_eq!(sim.conn_error(conn), Some(e));
+        // Teardown discarded the traffic: the sim is idle, not stuck.
+        assert!(sim.all_idle());
+        // The budget bounds every packet's retransmissions.
+        assert!(sim.conn_stats(conn).retransmits <= 6 * 17);
+    }
+
+    #[test]
+    fn scoreboard_blacklists_paths_crossing_a_dead_link() {
+        let mut sim = make_sim(PathAlgo::Obs, 64, 14);
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        // Kill one NIC uplink (plane 0) with slow BGP: roughly half the
+        // paths cross it and keep losing until blacklisted.
+        let (up, _) = sim.network().topology().nic_port_links(src, 0);
+        sim.network_mut().config_mut().bgp_convergence = SimDuration::from_millis(10_000);
+        sim.network_mut().set_link_up(up, false);
+        let conn = sim.add_connection(src, dst);
+        let msg = sim.post_message(conn, 8 * 1024 * 1024);
+        sim.run(&mut NoopApp, FOREVER);
+        assert!(sim.message_completed_at(conn, msg).is_some());
+        // At some point during the run, paths were blacklisted (they may
+        // have expired since; check the scoreboard high-water mark via
+        // consecutive_losses on plane-0 paths).
+        let sel = sim.selector(conn);
+        let poisoned = (0..sel.num_paths())
+            .filter(|&p| sel.path(p).consecutive_losses >= 2 || sel.path(p).blacklisted_until > SimTime::ZERO)
+            .count();
+        assert!(poisoned > 0, "dead-plane paths must hit the scoreboard");
+    }
+
+    #[test]
+    fn total_stats_matches_per_conn_sum() {
+        let mut sim = make_sim(PathAlgo::Obs, 32, 15);
+        let dst = sim.network().topology().nic(0, 0);
+        let mut conns = Vec::new();
+        for h in 1..4 {
+            let src = sim.network().topology().nic(h, 0);
+            let c = sim.add_connection(src, dst);
+            sim.post_message(c, 1024 * 1024);
+            conns.push(c);
+        }
+        sim.run(&mut NoopApp, FOREVER);
+        let total = sim.total_stats();
+        let by_hand: u64 = conns.iter().map(|&c| sim.conn_stats(c).delivered_bytes).sum();
+        assert_eq!(total.delivered_bytes, by_hand);
+        assert_eq!(total.delivered_bytes, 3 * 1024 * 1024);
+        let acks: u64 = conns.iter().map(|&c| sim.conn_stats(c).acks).sum();
+        assert_eq!(total.acks, acks);
+    }
+
+    #[test]
+    fn backoff_disabled_matches_fixed_rto() {
+        let sim = {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 1,
+                hosts_per_segment: 2,
+                rails: 1,
+                planes: 1,
+                aggs_per_plane: 1,
+            });
+            let rng = SimRng::from_seed(2);
+            let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+            TransportSim::new(
+                network,
+                TransportConfig {
+                    rto_backoff: 1.0,
+                    ..TransportConfig::default()
+                },
+                rng.fork("t"),
+            )
+        };
+        for epoch in 0..10 {
+            assert_eq!(sim.rto_after(epoch), sim.config().rto);
+        }
     }
 
     #[test]

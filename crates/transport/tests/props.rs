@@ -1,9 +1,12 @@
 //! Property tests for the transport's core invariants.
 
+use stellar_net::{ClosConfig, ClosTopology, FaultPlan, Network, NetworkConfig};
 use stellar_sim::proptest_lite::check;
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::conn::{ConnId, Connection, MessageState};
-use stellar_transport::{PathAlgo, PathSelector};
+use stellar_transport::{
+    App, MsgId, PathAlgo, PathSelector, ScoreboardPolicy, TransportConfig, TransportSim,
+};
 
 /// The receive bitmap completes exactly once under arbitrary arrival
 /// order with arbitrary duplication.
@@ -85,6 +88,101 @@ fn selector_respects_constraints() {
             s.on_ack(p, SimDuration::from_micros(10), false);
             s.on_loss(p);
         }
+    });
+}
+
+/// The loss scoreboard blacklists a path after the configured number of
+/// consecutive losses, routes around it while the penalty lasts, and
+/// readmits it when the penalty expires or an ACK proves the path healthy
+/// again (the flap-up case).
+#[test]
+fn scoreboard_blacklists_and_readmits() {
+    check("scoreboard_blacklists_and_readmits", 128, |g| {
+        let paths = g.u32(2, 64);
+        let after = g.u32(1, 5);
+        let penalty_us = g.u64(10, 1000);
+        let seed = g.u64(0, 100);
+        let victim = g.u32(0, paths);
+        let now = SimTime::from_nanos(g.u64(0, 1_000_000));
+        let mut s = PathSelector::new(PathAlgo::Obs, paths, SimRng::from_seed(seed));
+        s.set_scoreboard(ScoreboardPolicy {
+            blacklist_after: after,
+            penalty: SimDuration::from_micros(penalty_us),
+        });
+        for _ in 0..after {
+            s.on_loss_at(now, victim);
+        }
+        assert!(s.is_blacklisted(victim, now));
+        assert_eq!(s.blacklisted_count(now), 1);
+        // While blacklisted, the selector routes around the victim.
+        for _ in 0..50 {
+            let p = s.select_at(now, None, &|_| true).expect("a path exists");
+            assert_ne!(p, victim, "blacklisted path selected");
+        }
+        // Penalty expiry readmits it — a restored (flapped-up) path is
+        // usable again with no explicit reset.
+        let later = now + SimDuration::from_micros(penalty_us);
+        assert!(!s.is_blacklisted(victim, later));
+        // And an ACK clears the sentence early.
+        for _ in 0..after {
+            s.on_loss_at(now, victim);
+        }
+        s.on_ack(victim, SimDuration::from_micros(10), false);
+        assert!(!s.is_blacklisted(victim, now));
+        assert_eq!(s.blacklisted_count(now), 0);
+    });
+}
+
+/// An identical seed and fault plan drive the full transport (RTO
+/// backoff, scoreboard, retry budget) to byte-identical statistics.
+#[test]
+fn transport_under_faults_is_deterministic() {
+    struct Quiet;
+    impl App for Quiet {
+        fn on_message_complete(&mut self, _: &mut TransportSim, _: ConnId, _: MsgId) {}
+    }
+    check("transport_under_faults_is_deterministic", 16, |g| {
+        let seed = g.u64(0, 500);
+        let bytes = g.u64(64, 2048) * 1024;
+        let flaps = g.u32(1, 5);
+        let run = || {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 2,
+                hosts_per_segment: 2,
+                rails: 1,
+                planes: 2,
+                aggs_per_plane: 4,
+            });
+            let rng = SimRng::from_seed(seed);
+            let network = Network::new(
+                topo,
+                NetworkConfig {
+                    bgp_convergence: SimDuration::from_millis(1),
+                    ..NetworkConfig::default()
+                },
+                rng.fork("net"),
+            );
+            let mut sim = TransportSim::new(network, TransportConfig::default(), rng.fork("transport"));
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(2, 0);
+            let conn = sim.add_connection(src, dst);
+            let links: Vec<_> = (0..8)
+                .map(|p| sim.network().topology().route(src, dst, 0, p)[1])
+                .collect();
+            let plan = FaultPlan::new(seed).flap_storm(
+                &links,
+                SimTime::from_nanos(5_000),
+                SimDuration::from_micros(200),
+                flaps,
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(60),
+            );
+            sim.network_mut().install_fault_plan(plan);
+            sim.post_message(conn, bytes);
+            sim.run_to_idle(&mut Quiet, SimTime::from_nanos(u64::MAX / 2));
+            (sim.total_stats(), sim.error_count())
+        };
+        assert_eq!(run(), run());
     });
 }
 

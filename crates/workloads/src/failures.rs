@@ -62,12 +62,15 @@ pub struct FailureTimeline {
     pub failed_at: SimTime,
     /// Retransmissions observed (RTO recoveries).
     pub retransmits: u64,
-    /// Mean busbw before the failure.
-    pub before: f64,
-    /// Mean busbw in the RTO-bridged window (failure → convergence).
-    pub during: f64,
-    /// Mean busbw after BGP convergence.
-    pub after: f64,
+    /// Mean busbw before the failure, or `None` if no iteration finished
+    /// before it (an empty window is not a zero-bandwidth window).
+    pub before: Option<f64>,
+    /// Mean busbw in the RTO-bridged window (failure → convergence), or
+    /// `None` if no iteration overlapped it.
+    pub during: Option<f64>,
+    /// Mean busbw after BGP convergence, or `None` if the job ended
+    /// before any post-convergence iteration started.
+    pub after: Option<f64>,
 }
 
 /// The driving app: wraps [`AllReduceRunner`] and kills the link exactly
@@ -158,7 +161,7 @@ pub fn run_failure_timeline(config: &FailureTimelineConfig) -> FailureTimeline {
         .map(|i| report.bus_bandwidth_gbs(i))
         .collect();
     let converged_at = fail_at + config.bgp_convergence;
-    let phase = |pred: &dyn Fn(&crate::allreduce::IterationRecord) -> bool| -> f64 {
+    let phase = |pred: &dyn Fn(&crate::allreduce::IterationRecord) -> bool| -> Option<f64> {
         let vals: Vec<f64> = report
             .iterations
             .iter()
@@ -166,15 +169,9 @@ pub fn run_failure_timeline(config: &FailureTimelineConfig) -> FailureTimeline {
             .filter(|(_, r)| pred(r))
             .map(|(i, _)| busbw[i])
             .collect();
-        if vals.is_empty() {
-            0.0
-        } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        }
+        stellar_sim::stats::mean(&vals)
     };
-    let retransmits: u64 = (0..sim.connection_count())
-        .map(|c| sim.conn_stats(ConnId(c)).retransmits)
-        .sum();
+    let retransmits = sim.total_stats().retransmits;
 
     FailureTimeline {
         before: phase(&|r| r.finished <= fail_at),
@@ -194,22 +191,17 @@ mod tests {
     fn spray_timeline_recovers_fully() {
         let t = run_failure_timeline(&FailureTimelineConfig::default());
         assert_eq!(t.busbw_gbs.len(), 9);
-        assert!(t.before > 0.0 && t.after > 0.0);
+        // All three phase windows must be populated — an empty window
+        // would previously masquerade as a 0.0 collapse.
+        let before = t.before.expect("pre-failure window populated");
+        let during = t.during.expect("bridged window populated");
+        let after = t.after.expect("post-convergence window populated");
+        assert!(before > 0.0 && after > 0.0);
         // Instant recovery: even the RTO-bridged window keeps most of the
         // bandwidth (loss fan-out 1/120), and the rerouted phase returns
         // to within 10% of healthy.
-        assert!(
-            t.during > t.before * 0.6,
-            "during {} vs before {}",
-            t.during,
-            t.before
-        );
-        assert!(
-            t.after > t.before * 0.9,
-            "after {} vs before {}",
-            t.after,
-            t.before
-        );
+        assert!(during > before * 0.6, "during {during} vs before {before}");
+        assert!(after > before * 0.9, "after {after} vs before {before}");
     }
 
     #[test]
@@ -220,20 +212,13 @@ mod tests {
             seed: 6,
             ..FailureTimelineConfig::default()
         });
+        let before = t.before.expect("pre-failure window populated");
+        let during = t.during.expect("bridged window populated");
+        let after = t.after.expect("post-convergence window populated");
         // The ring edge pinned to the dead link collapses until BGP
         // converges, then recovers.
-        assert!(
-            t.during < t.before * 0.8,
-            "during {} vs before {}",
-            t.during,
-            t.before
-        );
-        assert!(
-            t.after > t.during,
-            "after {} vs during {}",
-            t.after,
-            t.during
-        );
+        assert!(during < before * 0.8, "during {during} vs before {before}");
+        assert!(after > during, "after {after} vs during {during}");
         assert!(t.retransmits > 0);
     }
 

@@ -11,6 +11,9 @@
 //!   and 11).
 //! * [`failures`] — the §7.2 failure-recovery timeline: healthy →
 //!   RTO-bridged → BGP-rerouted bandwidth phases around a link death.
+//! * [`chaos`] — multi-fault scenarios (flap storms, cascading switch
+//!   death, slow-degrading optics) driven by seeded
+//!   [`stellar_net::FaultPlan`]s, with a graceful-degradation verdict.
 //! * [`incast`] — N-to-1 synchronized incast, the "challenging pattern"
 //!   §7.2 contrasts against LLM traffic.
 //! * [`llm`] — the LLM 3D-parallelism step model: per-step TP/DP/PP/EP
@@ -22,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod allreduce;
+pub mod chaos;
 pub mod failures;
 pub mod incast;
 pub mod llm;
 pub mod permutation;
 
 pub use allreduce::{AllReduceJob, AllReduceReport, AllReduceRunner, BurstSchedule};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosScenario, Verdict};
 pub use failures::{run_failure_timeline, FailureTimeline, FailureTimelineConfig};
 pub use incast::{run_incast, IncastConfig, IncastReport};
 pub use llm::{comm_ratios, CommRatios, LlmJobConfig, Placement, TrainingOutcome};

@@ -24,9 +24,16 @@ fn main() {
         for (i, bw) in t.busbw_gbs.iter().enumerate() {
             println!("    iter {i:>2}: {bw:>7.2}");
         }
+        let phase = |v: Option<f64>| match v {
+            Some(bw) => format!("{bw:.2}"),
+            None => "n/a".to_string(),
+        };
         println!(
-            "  healthy {:.2} -> RTO-bridged {:.2} -> rerouted {:.2}  ({} retransmits)\n",
-            t.before, t.during, t.after, t.retransmits
+            "  healthy {} -> RTO-bridged {} -> rerouted {}  ({} retransmits)\n",
+            phase(t.before),
+            phase(t.during),
+            phase(t.after),
+            t.retransmits
         );
     }
     println!("Spraying over 128 paths dilutes the dead link to 1/120 of packets, so");

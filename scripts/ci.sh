@@ -7,5 +7,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-cargo test -q --offline
-cargo clippy --offline -- -D warnings
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace -- -D warnings
+
+# Chaos suite: multi-fault plans must keep their graceful-degradation
+# verdicts (and the unhardened counterfactual must keep failing).
+cargo run --release --offline -p stellar-bench --bin reproduce -- chaos --quick >/dev/null
+
+# Determinism gate: the same figure must serialize byte-identically on
+# consecutive runs — any divergence means wall-clock or unseeded
+# randomness leaked into an experiment.
+a="$(cargo run --release --offline -p stellar-bench --bin reproduce -- fig11 --quick --json)"
+b="$(cargo run --release --offline -p stellar-bench --bin reproduce -- fig11 --quick --json)"
+if [ "$a" != "$b" ]; then
+    echo "determinism gate: reproduce fig11 --json differs between runs" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+fi
