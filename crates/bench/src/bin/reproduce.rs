@@ -1,70 +1,336 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce <experiment> [--quick] [--json]
+//! reproduce [<experiment>] [--quick] [--json] [--perf] [--list]
 //!   experiments: fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 //!                fig16 table1 claims timeline chaos all
 //! ```
 //!
 //! `--quick` runs scaled-down configurations (seconds instead of
 //! minutes); `--json` emits machine-readable rows (used to build
-//! EXPERIMENTS.md).
+//! EXPERIMENTS.md); `--list` prints the experiment names and exits;
+//! `--perf` additionally re-runs everything on one thread and writes a
+//! `BENCH_reproduce.json` wall-clock/event report next to the working
+//! directory.
+//!
+//! Experiments run on the deterministic work pool (`stellar_sim::par`):
+//! `STELLAR_THREADS` caps the worker count, and the printed bytes are
+//! identical at every thread count — results are collected into
+//! declaration-order slots before anything is printed.
+
+use std::time::Instant;
 
 use stellar_bench as b;
-use stellar_sim::json::rows_to_json;
+use stellar_sim::json::{rows_to_json, Arr, Obj};
+use stellar_sim::par::{configured_threads, events_scheduled_here, par_map, with_thread_override};
+
+/// One reproducible experiment: a stable name plus a runner that returns
+/// the fully rendered stdout bytes for the chosen mode.
+struct Experiment {
+    name: &'static str,
+    run: fn(quick: bool, json: bool) -> String,
+}
+
+macro_rules! experiments {
+    ($(($name:literal, $module:ident)),* $(,)?) => {
+        const EXPERIMENTS: &[Experiment] = &[
+            $(Experiment {
+                name: $name,
+                run: |quick, json| {
+                    let rows = b::$module::run(quick);
+                    if json {
+                        format!(
+                            "{{\"experiment\":\"{}\",\"rows\":{}}}\n",
+                            $name,
+                            rows_to_json(&rows)
+                        )
+                    } else {
+                        let mut out = b::$module::render(&rows);
+                        out.push('\n');
+                        out
+                    }
+                },
+            },)*
+        ];
+    };
+}
+
+experiments![
+    ("fig6", fig06_startup),
+    ("fig8", fig08_atc),
+    ("fig9", fig09_permutation),
+    ("fig10", fig10_background),
+    ("fig11", fig11_failures),
+    ("fig12", fig12_imbalance),
+    ("fig13", fig13_micro),
+    ("fig14", fig14_gdr),
+    ("fig15", fig15_virt),
+    ("fig16", fig16_llm),
+    ("table1", table1_comm),
+    ("claims", claims),
+    ("timeline", timeline),
+    ("chaos", chaos),
+];
+
+/// Parsed command line.
+#[derive(Debug, PartialEq, Eq)]
+struct Args {
+    quick: bool,
+    json: bool,
+    perf: bool,
+    list: bool,
+    which: String,
+}
+
+/// Strict parser: only the documented flags are accepted, and at most one
+/// experiment name. Anything else is an error (exit code 2 in `main`).
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        quick: false,
+        json: false,
+        perf: false,
+        list: false,
+        which: String::new(),
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => parsed.quick = true,
+            "--json" => parsed.json = true,
+            "--perf" => parsed.perf = true,
+            "--list" => parsed.list = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag '{flag}'; expected --quick, --json, --perf or --list"
+                ));
+            }
+            name if parsed.which.is_empty() => parsed.which = name.to_string(),
+            extra => {
+                return Err(format!(
+                    "unexpected argument '{extra}' (experiment '{}' already selected)",
+                    parsed.which
+                ));
+            }
+        }
+    }
+    if parsed.which.is_empty() {
+        parsed.which = "all".to_string();
+    }
+    Ok(parsed)
+}
+
+/// Per-experiment perf sample from one pass.
+struct PerfRec {
+    name: &'static str,
+    wall_ms: f64,
+    events: u64,
+}
+
+/// Run the selected experiments on the work pool; outputs come back in
+/// declaration order regardless of completion order, so the printed bytes
+/// are thread-count-invariant.
+fn run_selected(selected: &[&Experiment], quick: bool, json: bool) -> (Vec<String>, Vec<PerfRec>) {
+    let results = par_map(selected, |exp| {
+        let t0 = Instant::now();
+        let ev0 = events_scheduled_here();
+        let out = (exp.run)(quick, json);
+        PerfSample {
+            out,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            events: events_scheduled_here() - ev0,
+            name: exp.name,
+        }
+    });
+    let mut outputs = Vec::with_capacity(results.len());
+    let mut perf = Vec::with_capacity(results.len());
+    for s in results {
+        outputs.push(s.out);
+        perf.push(PerfRec {
+            name: s.name,
+            wall_ms: s.wall_ms,
+            events: s.events,
+        });
+    }
+    (outputs, perf)
+}
+
+struct PerfSample {
+    out: String,
+    wall_ms: f64,
+    events: u64,
+    name: &'static str,
+}
+
+/// Build the `BENCH_reproduce.json` document from the threaded pass and
+/// the single-thread baseline pass. Per-scenario `wall_ms` is the job's
+/// own clock (under contention it includes time-sliced waiting); the
+/// `total` block uses each pass's true elapsed wall, which is what the
+/// speedup is measured on.
+fn perf_report(
+    quick: bool,
+    threads: usize,
+    elapsed_ms: f64,
+    baseline_elapsed_ms: f64,
+    perf: &[PerfRec],
+    baseline: &[PerfRec],
+) -> String {
+    let mut scenarios = Arr::new();
+    for (p, bp) in perf.iter().zip(baseline) {
+        let secs = p.wall_ms / 1e3;
+        scenarios = scenarios.push_raw(
+            &Obj::new()
+                .field_str("name", p.name)
+                .field_f64("wall_ms", p.wall_ms)
+                .field_u64("events", p.events)
+                .field_f64(
+                    "events_per_sec",
+                    if secs > 0.0 { p.events as f64 / secs } else { 0.0 },
+                )
+                .field_f64("baseline_wall_ms", bp.wall_ms)
+                .field_f64("speedup", bp.wall_ms / p.wall_ms.max(1e-9))
+                .finish(),
+        );
+    }
+    let events: u64 = perf.iter().map(|p| p.events).sum();
+    let secs = elapsed_ms / 1e3;
+    Obj::new()
+        .field_u64("threads", threads as u64)
+        .field_u64(
+            "available_parallelism",
+            std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        )
+        .field_raw("quick", if quick { "true" } else { "false" })
+        .field_raw("scenarios", &scenarios.finish())
+        .field_raw(
+            "total",
+            &Obj::new()
+                .field_f64("wall_ms", elapsed_ms)
+                .field_f64("baseline_wall_ms", baseline_elapsed_ms)
+                .field_u64("events", events)
+                .field_f64(
+                    "events_per_sec",
+                    if secs > 0.0 { events as f64 / secs } else { 0.0 },
+                )
+                .field_f64("speedup", baseline_elapsed_ms / elapsed_ms.max(1e-9))
+                .finish(),
+        )
+        .finish()
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
 
-    let all = which == "all";
-    let mut ran = false;
-
-    macro_rules! exp {
-        ($name:literal, $module:ident) => {
-            if all || which == $name {
-                ran = true;
-                let rows = b::$module::run(quick);
-                if json {
-                    println!(
-                        "{{\"experiment\":\"{}\",\"rows\":{}}}",
-                        $name,
-                        rows_to_json(&rows)
-                    );
-                } else {
-                    b::$module::print(&rows);
-                    println!();
-                }
-            }
-        };
+    if args.list {
+        for exp in EXPERIMENTS {
+            println!("{}", exp.name);
+        }
+        return;
     }
 
-    exp!("fig6", fig06_startup);
-    exp!("fig8", fig08_atc);
-    exp!("fig9", fig09_permutation);
-    exp!("fig10", fig10_background);
-    exp!("fig11", fig11_failures);
-    exp!("fig12", fig12_imbalance);
-    exp!("fig13", fig13_micro);
-    exp!("fig14", fig14_gdr);
-    exp!("fig15", fig15_virt);
-    exp!("fig16", fig16_llm);
-    exp!("table1", table1_comm);
-    exp!("claims", claims);
-    exp!("timeline", timeline);
-    exp!("chaos", chaos);
-
-    if !ran {
+    let selected: Vec<&Experiment> = EXPERIMENTS
+        .iter()
+        .filter(|exp| args.which == "all" || exp.name == args.which)
+        .collect();
+    if selected.is_empty() {
         eprintln!(
-            "unknown experiment '{which}'; expected one of: fig6 fig8 fig9 fig10 \
-             fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline chaos all"
+            "unknown experiment '{}'; expected one of: fig6 fig8 fig9 fig10 \
+             fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline chaos all",
+            args.which
         );
         std::process::exit(2);
+    }
+
+    let t0 = Instant::now();
+    let (outputs, perf) = run_selected(&selected, args.quick, args.json);
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for out in &outputs {
+        print!("{out}");
+    }
+
+    if args.perf {
+        let threads = configured_threads();
+        let t1 = Instant::now();
+        let (base_outputs, baseline) =
+            with_thread_override(1, || run_selected(&selected, args.quick, args.json));
+        let baseline_elapsed_ms = t1.elapsed().as_secs_f64() * 1e3;
+        if outputs != base_outputs {
+            eprintln!("error: output differs between {threads} thread(s) and 1 thread");
+            std::process::exit(1);
+        }
+        let report = perf_report(
+            args.quick,
+            threads,
+            elapsed_ms,
+            baseline_elapsed_ms,
+            &perf,
+            &baseline,
+        );
+        std::fs::write("BENCH_reproduce.json", &report).expect("write BENCH_reproduce.json");
+        eprintln!(
+            "perf: {} scenario(s), {:.1} ms on {} thread(s) vs {:.1} ms on 1 \
+             (speedup {:.2}x); wrote BENCH_reproduce.json",
+            perf.len(),
+            elapsed_ms,
+            threads,
+            baseline_elapsed_ms,
+            baseline_elapsed_ms / elapsed_ms.max(1e-9)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_all() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.which, "all");
+        assert!(!args.quick && !args.json && !args.perf && !args.list);
+    }
+
+    #[test]
+    fn accepts_known_flags_in_any_order() {
+        let args = parse(&["--json", "fig11", "--quick", "--perf"]).unwrap();
+        assert_eq!(args.which, "fig11");
+        assert!(args.quick && args.json && args.perf);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = parse(&["fig11", "--jsn"]).unwrap_err();
+        assert!(err.contains("--jsn"), "{err}");
+    }
+
+    #[test]
+    fn rejects_second_experiment() {
+        let err = parse(&["fig11", "fig12"]).unwrap_err();
+        assert!(err.contains("fig12"), "{err}");
+    }
+
+    #[test]
+    fn list_flag_parses() {
+        assert!(parse(&["--list"]).unwrap().list);
+    }
+
+    #[test]
+    fn registry_has_every_documented_experiment() {
+        let names: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+                "fig15", "fig16", "table1", "claims", "timeline", "chaos"
+            ]
+        );
     }
 }

@@ -7,7 +7,10 @@
 //! unhardened single-path transport under the same compound plan, which
 //! either collapses or burns through its retry budget.
 
+use std::fmt::Write as _;
+
 use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 use stellar_sim::SimDuration;
 use stellar_transport::{PathAlgo, ScoreboardPolicy};
 use stellar_workloads::chaos::{run_chaos, ChaosConfig, ChaosScenario};
@@ -95,11 +98,11 @@ pub fn run(quick: bool) -> Vec<Row> {
         iterations: if quick { 8 } else { 12 },
         ..ChaosConfig::default()
     };
-    let mut rows: Vec<Row> = ChaosScenario::ALL
+    let mut jobs: Vec<(ChaosConfig, &'static str)> = ChaosScenario::ALL
         .iter()
         .map(|&scenario| {
-            row_for(
-                &ChaosConfig {
+            (
+                ChaosConfig {
                     scenario,
                     // The compound acceptance thresholds need iterations
                     // that dwarf one RTO; keep its payload large even in
@@ -120,8 +123,8 @@ pub fn run(quick: bool) -> Vec<Row> {
             )
         })
         .collect();
-    rows.push(row_for(
-        &ChaosConfig {
+    jobs.push((
+        ChaosConfig {
             scenario: ChaosScenario::Compound,
             algo: PathAlgo::SinglePath,
             num_paths: 1,
@@ -136,16 +139,19 @@ pub fn run(quick: bool) -> Vec<Row> {
         },
         "unhardened-single",
     ));
-    rows
+    par_map(&jobs, |job| row_for(&job.0, job.1))
 }
 
-/// Print the table.
-pub fn print(rows: &[Row]) {
-    println!("Chaos scenarios — graceful degradation under multi-fault plans");
-    println!(
+/// Render the table as `print` emits it.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Chaos scenarios — graceful degradation under multi-fault plans").unwrap();
+    writeln!(
+        out,
         "{:>12} {:>18} {:>9} {:>9} {:>9} {:>7} {:>6} {:>5}  verdict",
         "scenario", "transport", "healthy", "bridged", "after", "drops", "retx", "errs"
-    );
+    )
+    .unwrap();
     let pct = |v: f64| {
         if v < 0.0 {
             "  n/a".to_string()
@@ -154,7 +160,8 @@ pub fn print(rows: &[Row]) {
         }
     };
     for r in rows {
-        println!(
+        writeln!(
+            out,
             "{:>12} {:>18} {:>9.2} {:>9} {:>9} {:>7} {:>6} {:>5}  {}",
             r.scenario,
             r.transport,
@@ -165,8 +172,15 @@ pub fn print(rows: &[Row]) {
             r.retransmits,
             r.conn_errors,
             r.verdict
-        );
+        )
+        .unwrap();
     }
+    out
+}
+
+/// Print the table.
+pub fn print(rows: &[Row]) {
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //!   32-entry switch LUT;
 //! * container initialization 15× faster (covered in depth by Fig. 6).
 
+use std::fmt::Write as _;
+
 use stellar_core::vstellar::VStellarStack;
 use stellar_core::{RnicId, ServerConfig, StellarServer};
 use stellar_virt::rund::MemoryStrategy;
@@ -86,13 +88,20 @@ pub fn run(quick: bool) -> Vec<Row> {
     ]
 }
 
+/// Render the claims table as `print` emits it.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Section 4 claims — measured vs paper").unwrap();
+    writeln!(out, "{:>44} {:>12} {:>10}", "claim", "measured", "paper").unwrap();
+    for r in rows {
+        writeln!(out, "{:>44} {:>12.2} {:>10.2}", r.claim, r.measured, r.paper).unwrap();
+    }
+    out
+}
+
 /// Print the claims table.
 pub fn print(rows: &[Row]) {
-    println!("Section 4 claims — measured vs paper");
-    println!("{:>44} {:>12} {:>10}", "claim", "measured", "paper");
-    for r in rows {
-        println!("{:>44} {:>12.2} {:>10.2}", r.claim, r.measured, r.paper);
-    }
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

@@ -5,11 +5,14 @@
 //! it stays under 20 s at every size (≥15× speedup), with an ~11 s rise
 //! between 160 GB and 1.6 TB attributable to hypervisor overhead.
 
+use std::fmt::Write as _;
+
 use stellar_core::{ServerConfig, StellarServer};
 use stellar_pcie::addr::PAGE_2M;
 use stellar_pcie::iommu::IommuConfig;
 use stellar_virt::rund::MemoryStrategy;
 use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 
 /// One bar pair of Fig. 6.
 #[derive(Debug, Clone)]
@@ -38,9 +41,7 @@ impl ToJsonRow for Row {
 /// Run the experiment. `quick` skips nothing here — it is cheap.
 pub fn run(_quick: bool) -> Vec<Row> {
     const GIB: u64 = 1024 * 1024 * 1024;
-    [1u64, 16, 160, 1_600]
-        .iter()
-        .map(|&gib| {
+    par_map(&[1u64, 16, 160, 1_600], |&gib| {
             let boot = |strategy: MemoryStrategy| -> f64 {
                 // A fresh server per boot so pinning cost is not shared;
                 // 2 MiB IOMMU granularity keeps terabyte guests cheap to
@@ -63,20 +64,28 @@ pub fn run(_quick: bool) -> Vec<Row> {
                 pvdma_s,
                 speedup: full_pin_s / pvdma_s,
             }
-        })
-        .collect()
+    })
+}
+
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 6 — GPU pod start-up time (s) vs container memory").unwrap();
+    writeln!(out, "{:>10} {:>12} {:>10} {:>9}", "mem GiB", "w/o PVDMA", "PVDMA", "speedup").unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>10} {:>12.1} {:>10.1} {:>8.1}x",
+            r.memory_gib, r.full_pin_s, r.pvdma_s, r.speedup
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// Print the figure as a table.
 pub fn print(rows: &[Row]) {
-    println!("Fig. 6 — GPU pod start-up time (s) vs container memory");
-    println!("{:>10} {:>12} {:>10} {:>9}", "mem GiB", "w/o PVDMA", "PVDMA", "speedup");
-    for r in rows {
-        println!(
-            "{:>10} {:>12.1} {:>10.1} {:>8.1}x",
-            r.memory_gib, r.full_pin_s, r.pvdma_s, r.speedup
-        );
-    }
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

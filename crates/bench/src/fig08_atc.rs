@@ -9,6 +9,8 @@
 //! Cache capacities are scaled so the cliffs land at the paper's message
 //! sizes: ATC reach = 16 × 2 MB, IOTLB reach = 16 × 16 MB.
 
+use std::fmt::Write as _;
+
 use stellar_core::{RnicId, ServerConfig, StellarServer};
 use stellar_pcie::addr::Gva;
 use stellar_pcie::ats::AtcConfig;
@@ -17,6 +19,7 @@ use stellar_pcie::{Hpa, Iova};
 use stellar_rnic::dma::{RnicDataPathConfig, TranslationMode};
 use stellar_rnic::verbs::{AccessFlags, MrKey};
 use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 
 const MB: u64 = 1024 * 1024;
 const CONNS: usize = 16;
@@ -169,9 +172,7 @@ pub fn run(quick: bool) -> Vec<Row> {
             64 * MB,
         ]
     };
-    sizes
-        .iter()
-        .map(|&msg| {
+    par_map(sizes, |&msg| {
             // CX6: 200 Gbps, ATS/ATC path.
             let mut cx6 = build_rig(TranslationMode::AtsAtc, 200.0);
             cx6.round(msg); // warm
@@ -188,26 +189,36 @@ pub fn run(quick: bool) -> Vec<Row> {
                 vstellar_gbps: b2 as f64 * 8.0 / ns2 as f64,
                 atc_hit_ratio: h as f64 / (h + m).max(1) as f64,
             }
-        })
-        .collect()
+    })
 }
 
-/// Print the figure.
-pub fn print(rows: &[Row]) {
-    println!("Fig. 8 — GDR bandwidth vs message size (16 connections, 4 KiB pages)");
-    println!(
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 8 — GDR bandwidth vs message size (16 connections, 4 KiB pages)").unwrap();
+    writeln!(
+        out,
         "{:>10} {:>12} {:>14} {:>12}",
         "msg", "CX6 (Gbps)", "vStellar(Gbps)", "ATC hit%"
-    );
+    )
+    .unwrap();
     for r in rows {
-        println!(
+        writeln!(
+            out,
             "{:>9}M {:>12.1} {:>14.1} {:>11.1}%",
             r.msg_bytes as f64 / MB as f64,
             r.cx6_gbps,
             r.vstellar_gbps,
             r.atc_hit_ratio * 100.0
-        );
+        )
+        .unwrap();
     }
+    out
+}
+
+/// Print the figure.
+pub fn print(rows: &[Row]) {
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

@@ -5,11 +5,14 @@
 //! except BestRTT and single-path converge, and both average and maximum
 //! queue depths drop markedly versus 4 paths.
 
+use std::fmt::Write as _;
+
 use stellar_net::ClosConfig;
+use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 use stellar_sim::SimDuration;
 use stellar_transport::{PathAlgo, TransportConfig};
 use stellar_workloads::permutation::{run_permutation, PermutationConfig};
-use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar of Fig. 9.
 #[derive(Debug, Clone)]
@@ -93,36 +96,45 @@ fn config(algo: PathAlgo, paths: u32, quick: bool) -> PermutationConfig {
     }
 }
 
-/// Run the figure's sweep.
+/// Run the figure's sweep; one work-pool job per (algorithm, paths).
 pub fn run(quick: bool) -> Vec<Row> {
-    combos()
-        .into_iter()
-        .map(|(name, algo, paths)| {
-            let rep = run_permutation(&config(algo, paths, quick));
-            Row {
-                algo: name,
-                paths,
-                avg_queue_kb: rep.weighted_queue_bytes / 1024.0,
-                max_queue_kb: rep.max_queue_bytes as f64 / 1024.0,
-                goodput_gbps: rep.total_goodput_gbps,
-            }
-        })
-        .collect()
+    let combos = combos();
+    par_map(&combos, |&(name, algo, paths)| {
+        let rep = run_permutation(&config(algo, paths, quick));
+        Row {
+            algo: name,
+            paths,
+            avg_queue_kb: rep.weighted_queue_bytes / 1024.0,
+            max_queue_kb: rep.max_queue_bytes as f64 / 1024.0,
+            goodput_gbps: rep.total_goodput_gbps,
+        }
+    })
+}
+
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 9 — queue depth for permutation traffic").unwrap();
+    writeln!(
+        out,
+        "{:>12} {:>6} {:>12} {:>12} {:>12}",
+        "algorithm", "paths", "avg q (KB)", "max q (KB)", "goodput Gbps"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>12} {:>6} {:>12.1} {:>12.1} {:>12.1}",
+            r.algo, r.paths, r.avg_queue_kb, r.max_queue_kb, r.goodput_gbps
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// Print the figure.
 pub fn print(rows: &[Row]) {
-    println!("Fig. 9 — queue depth for permutation traffic");
-    println!(
-        "{:>12} {:>6} {:>12} {:>12} {:>12}",
-        "algorithm", "paths", "avg q (KB)", "max q (KB)", "goodput Gbps"
-    );
-    for r in rows {
-        println!(
-            "{:>12} {:>6} {:>12.1} {:>12.1} {:>12.1}",
-            r.algo, r.paths, r.avg_queue_kb, r.max_queue_kb, r.goodput_gbps
-        );
-    }
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

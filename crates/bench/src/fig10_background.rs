@@ -6,11 +6,14 @@
 //! under static background; under bursty background 128 paths mitigate
 //! the interference, with OBS the most resilient.
 
+use std::fmt::Write as _;
+
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
+use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::{PathAlgo, TransportConfig, TransportSim};
 use stellar_workloads::allreduce::{AllReduceJob, AllReduceRunner, BurstSchedule};
-use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar of Fig. 10.
 #[derive(Debug, Clone)]
@@ -115,32 +118,47 @@ pub fn combos() -> Vec<(&'static str, PathAlgo, u32)> {
     ]
 }
 
-/// Run both panels.
+/// Run both panels; one work-pool job per (algorithm, background) cell.
 pub fn run(quick: bool) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &(name, algo, paths) in &combos() {
         for (bg, bursty) in [("static", false), ("bursty", true)] {
-            rows.push(Row {
-                algo: name,
-                paths,
-                background: bg,
-                probe_busbw_gbs: run_one(algo, paths, bursty, quick),
-            });
+            cells.push((name, algo, paths, bg, bursty));
         }
     }
-    rows
+    par_map(&cells, |&(name, algo, paths, bg, bursty)| Row {
+        algo: name,
+        paths,
+        background: bg,
+        probe_busbw_gbs: run_one(algo, paths, bursty, quick),
+    })
+}
+
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 10 — probe AllReduce bus bandwidth under background traffic (GB/s)")
+        .unwrap();
+    writeln!(
+        out,
+        "{:>12} {:>6} {:>10} {:>12}",
+        "algorithm", "paths", "background", "busbw GB/s"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>12} {:>6} {:>10} {:>12.2}",
+            r.algo, r.paths, r.background, r.probe_busbw_gbs
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// Print the figure.
 pub fn print(rows: &[Row]) {
-    println!("Fig. 10 — probe AllReduce bus bandwidth under background traffic (GB/s)");
-    println!("{:>12} {:>6} {:>10} {:>12}", "algorithm", "paths", "background", "busbw GB/s");
-    for r in rows {
-        println!(
-            "{:>12} {:>6} {:>10} {:>12.2}",
-            r.algo, r.paths, r.background, r.probe_busbw_gbs
-        );
-    }
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

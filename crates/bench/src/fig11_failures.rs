@@ -6,11 +6,14 @@
 //! perceived packet loss rate ... by a factor of 128"), while single-path
 //! flows pinned to the lossy link suffer repeated RTOs.
 
+use std::fmt::Write as _;
+
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
+use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 use stellar_sim::{SimRng, SimTime};
 use stellar_transport::{PathAlgo, TransportConfig, TransportSim};
 use stellar_workloads::allreduce::{AllReduceJob, AllReduceRunner};
-use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar of Fig. 11.
 #[derive(Debug, Clone)]
@@ -106,39 +109,57 @@ pub fn combos() -> Vec<(&'static str, PathAlgo, u32)> {
     ]
 }
 
-/// Run the figure.
+/// Run the figure. Each algorithm's (lossless base + 1% + 3%) triple is
+/// an independent job on the work pool; results flatten in declaration
+/// order so the table is byte-identical at any thread count.
 pub fn run(quick: bool) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &(name, algo, paths) in &combos() {
+    let combos = combos();
+    par_map(&combos, |&(name, algo, paths)| {
         let (base, _) = run_one(algo, paths, 0.0, quick);
-        for &loss in &[0.01, 0.03] {
+        [0.01, 0.03].map(|loss| {
             let (bw, rto) = run_one(algo, paths, loss, quick);
-            rows.push(Row {
+            Row {
                 algo: name,
                 paths,
                 loss,
                 relative_busbw: bw / base,
                 rto_events: rto,
-            });
-        }
-    }
-    rows
+            }
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
-/// Print the figure.
-pub fn print(rows: &[Row]) {
-    println!("Fig. 11 — AllReduce under link failures (busbw relative to lossless)");
-    println!("{:>12} {:>6} {:>6} {:>10} {:>8}", "algorithm", "paths", "loss", "rel busbw", "RTOs");
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 11 — AllReduce under link failures (busbw relative to lossless)").unwrap();
+    writeln!(
+        out,
+        "{:>12} {:>6} {:>6} {:>10} {:>8}",
+        "algorithm", "paths", "loss", "rel busbw", "RTOs"
+    )
+    .unwrap();
     for r in rows {
-        println!(
+        writeln!(
+            out,
             "{:>12} {:>6} {:>5.0}% {:>10.3} {:>8}",
             r.algo,
             r.paths,
             r.loss * 100.0,
             r.relative_busbw,
             r.rto_events
-        );
+        )
+        .unwrap();
     }
+    out
+}
+
+/// Print the figure.
+pub fn print(rows: &[Row]) {
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

@@ -5,10 +5,13 @@
 //! Ideal balance appears only once the path count reaches ~128, enough to
 //! uniformly cover the 60 aggregation switches.
 
+use std::fmt::Write as _;
+
 use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig};
+use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 use stellar_sim::{SimRng, SimTime};
 use stellar_transport::{NoopApp, PathAlgo, TransportConfig, TransportSim};
-use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One x-position of Fig. 12.
 #[derive(Debug, Clone)]
@@ -63,24 +66,28 @@ fn run_one(paths: u32, quick: bool) -> f64 {
     sim.network().tor_uplink_imbalance() * 100.0
 }
 
-/// Run the path-count sweep.
+/// Run the path-count sweep; one work-pool job per path count.
 pub fn run(quick: bool) -> Vec<Row> {
-    [4u32, 8, 16, 32, 64, 128, 256]
-        .iter()
-        .map(|&paths| Row {
-            paths,
-            imbalance_pct: run_one(paths, quick),
-        })
-        .collect()
+    par_map(&[4u32, 8, 16, 32, 64, 128, 256], |&paths| Row {
+        paths,
+        imbalance_pct: run_one(paths, quick),
+    })
+}
+
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 12 — switch-port load imbalance vs number of paths").unwrap();
+    writeln!(out, "{:>8} {:>16}", "paths", "max-min delta %").unwrap();
+    for r in rows {
+        writeln!(out, "{:>8} {:>16.1}", r.paths, r.imbalance_pct).unwrap();
+    }
+    out
 }
 
 /// Print the figure.
 pub fn print(rows: &[Row]) {
-    println!("Fig. 12 — switch-port load imbalance vs number of paths");
-    println!("{:>8} {:>16}", "paths", "max-min delta %");
-    for r in rows {
-        println!("{:>8} {:>16.1}", r.paths, r.imbalance_pct);
-    }
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

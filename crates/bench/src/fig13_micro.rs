@@ -2,8 +2,11 @@
 //! throughput (b) across message sizes, for vStellar vs bare-metal
 //! Stellar vs the VF+VxLAN CX7 baseline.
 
+use std::fmt::Write as _;
+
 use stellar_core::perftest::{perftest_point, StackKind};
 use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 
 /// One x-position of Fig. 13 for one stack.
 #[derive(Debug, Clone)]
@@ -45,34 +48,47 @@ pub fn run(quick: bool) -> Vec<Row> {
         ("vStellar", StackKind::VStellar),
         ("VF+VxLAN", StackKind::VfVxlan),
     ];
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &(name, kind) in &stacks {
         for &size in &sizes(quick) {
-            let p = perftest_point(kind, size);
-            rows.push(Row {
-                stack: name,
-                msg_bytes: size,
-                latency_us: p.latency.as_nanos() as f64 / 1000.0,
-                gbps: p.gbps,
-            });
+            cells.push((name, kind, size));
         }
     }
-    rows
+    par_map(&cells, |&(name, kind, size)| {
+        let p = perftest_point(kind, size);
+        Row {
+            stack: name,
+            msg_bytes: size,
+            latency_us: p.latency.as_nanos() as f64 / 1000.0,
+            gbps: p.gbps,
+        }
+    })
+}
+
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 13 — RDMA write microbenchmarks").unwrap();
+    writeln!(
+        out,
+        "{:>12} {:>10} {:>12} {:>10}",
+        "stack", "msg bytes", "latency us", "Gbps"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>12} {:>10} {:>12.2} {:>10.1}",
+            r.stack, r.msg_bytes, r.latency_us, r.gbps
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// Print the figure.
 pub fn print(rows: &[Row]) {
-    println!("Fig. 13 — RDMA write microbenchmarks");
-    println!(
-        "{:>12} {:>10} {:>12} {:>10}",
-        "stack", "msg bytes", "latency us", "Gbps"
-    );
-    for r in rows {
-        println!(
-            "{:>12} {:>10} {:>12.2} {:>10.1}",
-            r.stack, r.msg_bytes, r.latency_us, r.gbps
-        );
-    }
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

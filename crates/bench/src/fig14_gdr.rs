@@ -5,8 +5,11 @@
 //! because its GDR traffic detours through the PCIe Root Complex;
 //! vStellar and bare-metal Stellar coincide.
 
+use std::fmt::Write as _;
+
 use stellar_core::perftest::{perftest_point, StackKind};
 use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 
 /// One x-position of Fig. 14 for one stack.
 #[derive(Debug, Clone)]
@@ -45,26 +48,33 @@ pub fn run(quick: bool) -> Vec<Row> {
         ("vStellar", StackKind::VStellar),
         ("HyV/MasQ", StackKind::HyvMasq),
     ];
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &(name, kind) in &stacks {
         for &size in &sizes(quick) {
-            rows.push(Row {
-                stack: name,
-                msg_bytes: size,
-                gbps: perftest_point(kind, size).gbps,
-            });
+            cells.push((name, kind, size));
         }
     }
-    rows
+    par_map(&cells, |&(name, kind, size)| Row {
+        stack: name,
+        msg_bytes: size,
+        gbps: perftest_point(kind, size).gbps,
+    })
+}
+
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 14 — GDR write throughput (Gbps)").unwrap();
+    writeln!(out, "{:>12} {:>12} {:>10}", "stack", "msg bytes", "Gbps").unwrap();
+    for r in rows {
+        writeln!(out, "{:>12} {:>12} {:>10.1}", r.stack, r.msg_bytes, r.gbps).unwrap();
+    }
+    out
 }
 
 /// Print the figure.
 pub fn print(rows: &[Row]) {
-    println!("Fig. 14 — GDR write throughput (Gbps)");
-    println!("{:>12} {:>12} {:>10}", "stack", "msg bytes", "Gbps");
-    for r in rows {
-        println!("{:>12} {:>12} {:>10.1}", r.stack, r.msg_bytes, r.gbps);
-    }
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

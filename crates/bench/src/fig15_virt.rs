@@ -9,9 +9,12 @@
 //! times match. We verify that by simulating the same job twice with the
 //! data-path parameters of each container type.
 
+use std::fmt::Write as _;
+
+use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 use stellar_transport::PathAlgo;
 use stellar_workloads::llm::{simulate_training_step, Placement, TrainingSimConfig};
-use stellar_sim::json::{Obj, ToJsonRow};
 
 /// One bar pair of Fig. 15.
 #[derive(Debug, Clone)]
@@ -48,8 +51,7 @@ pub fn run(quick: bool) -> Vec<Row> {
             ("Llama-70B", 32, 32 << 20),
         ]
     };
-    jobs.iter()
-        .map(|&(name, ranks, bytes)| {
+    par_map(jobs, |&(name, ranks, bytes)| {
             let step = |seed: u64| {
                 simulate_training_step(&TrainingSimConfig {
                     ranks,
@@ -76,23 +78,37 @@ pub fn run(quick: bool) -> Vec<Row> {
                 secure_ms,
                 overhead: (secure_ms - regular_ms) / regular_ms,
             }
-        })
-        .collect()
+    })
 }
 
-/// Print the figure.
-pub fn print(rows: &[Row]) {
-    println!("Fig. 15 — step time: regular vs secure containers (same Stellar transport)");
-    println!("{:>12} {:>12} {:>12} {:>10}", "job", "regular ms", "secure ms", "overhead");
+/// Render the figure as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Fig. 15 — step time: regular vs secure containers (same Stellar transport)")
+        .unwrap();
+    writeln!(
+        out,
+        "{:>12} {:>12} {:>12} {:>10}",
+        "job", "regular ms", "secure ms", "overhead"
+    )
+    .unwrap();
     for r in rows {
-        println!(
+        writeln!(
+            out,
             "{:>12} {:>12.3} {:>12.3} {:>9.2}%",
             r.job,
             r.regular_ms,
             r.secure_ms,
             r.overhead * 100.0
-        );
+        )
+        .unwrap();
     }
+    out
+}
+
+/// Print the figure.
+pub fn print(rows: &[Row]) {
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 //! | DeepSpeed-Zero1 Llama-2B | — | 17.3% | — |
 //! | DeepSpeed-Zero3 Llama-13B | — | 10.5% | — |
 
+use std::fmt::Write as _;
+
 use stellar_workloads::llm::{comm_ratios, LlmJobConfig};
 use stellar_sim::json::{Arr, Obj, ToJsonRow};
 
@@ -85,15 +87,19 @@ fn fmt_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "N/A".to_string(), |x| format!("{x:.2}%"))
 }
 
-/// Print the table with paper values side by side.
-pub fn print(rows: &[Row]) {
-    println!("Table 1 — communication ratios (measured | paper)");
-    println!(
+/// Render the table as `print` emits it.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Table 1 — communication ratios (measured | paper)").unwrap();
+    writeln!(
+        out,
         "{:>26} {:>22} {:>16} {:>16} {:>16}",
         "job", "params(tp,pp,dp,mb,ga,gb)", "TP", "DP", "PP"
-    );
+    )
+    .unwrap();
     for r in rows {
-        println!(
+        writeln!(
+            out,
             "{:>26} {:>22} {:>7}|{:>7} {:>7}|{:>7} {:>7}|{:>7}",
             r.name,
             r.parameters,
@@ -103,8 +109,15 @@ pub fn print(rows: &[Row]) {
             format!("{:.2}%", r.paper.1),
             fmt_opt(r.pp_pct),
             fmt_opt(r.paper.2),
-        );
+        )
+        .unwrap();
     }
+    out
+}
+
+/// Print the table with paper values side by side.
+pub fn print(rows: &[Row]) {
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

@@ -2,9 +2,12 @@
 //! under a running AllReduce; bandwidth is bridged by RTO recovery and
 //! restored by BGP reroute.
 
+use std::fmt::Write as _;
+
 use stellar_transport::PathAlgo;
 use stellar_workloads::failures::{run_failure_timeline, FailureTimelineConfig};
 use stellar_sim::json::{Obj, ToJsonRow};
+use stellar_sim::par::par_map;
 
 /// One timeline phase row.
 #[derive(Debug, Clone)]
@@ -59,25 +62,37 @@ pub fn run(quick: bool) -> Vec<Row> {
             retransmits: t.retransmits,
         }
     };
-    vec![
-        mk("SinglePath", PathAlgo::SinglePath, 1, 6),
-        mk("OBS-128", PathAlgo::Obs, 128, 5),
-    ]
+    let variants: [(&'static str, PathAlgo, u32, u64); 2] = [
+        ("SinglePath", PathAlgo::SinglePath, 1, 6),
+        ("OBS-128", PathAlgo::Obs, 128, 5),
+    ];
+    par_map(&variants, |&(name, algo, paths, seed)| mk(name, algo, paths, seed))
+}
+
+/// Render the timeline as the table `print` emits.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(out, "Failure-recovery timeline (link dies mid-AllReduce), busbw GB/s").unwrap();
+    writeln!(
+        out,
+        "{:>12} {:>10} {:>12} {:>10} {:>8}",
+        "algorithm", "healthy", "RTO-bridge", "rerouted", "retx"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>12} {:>10.2} {:>12.2} {:>10.2} {:>8}",
+            r.algo, r.before_gbs, r.during_gbs, r.after_gbs, r.retransmits
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// Print the timeline.
 pub fn print(rows: &[Row]) {
-    println!("Failure-recovery timeline (link dies mid-AllReduce), busbw GB/s");
-    println!(
-        "{:>12} {:>10} {:>12} {:>10} {:>8}",
-        "algorithm", "healthy", "RTO-bridge", "rerouted", "retx"
-    );
-    for r in rows {
-        println!(
-            "{:>12} {:>10.2} {:>12.2} {:>10.2} {:>8}",
-            r.algo, r.before_gbs, r.during_gbs, r.after_gbs, r.retransmits
-        );
-    }
+    print!("{}", render(rows));
 }
 
 #[cfg(test)]

@@ -1,0 +1,35 @@
+//! Determinism-under-parallelism gate: the rendered output of an
+//! experiment must be byte-identical at every worker count. The work pool
+//! only changes *when* a job executes, never *what* it computes — each job
+//! derives all of its randomness from its own `SimRng` seed and results
+//! are collected into declaration-order slots.
+//!
+//! One test covers table and JSON renderings of `fig11` (a parallel
+//! multi-combo experiment with per-job RNGs) plus the JSON rows of the
+//! seed-averaged `fig16`, at 1, 2 and 8 workers.
+
+use stellar_bench as b;
+use stellar_sim::json::rows_to_json;
+use stellar_sim::par::with_thread_override;
+
+#[test]
+fn fig11_and_fig16_bytes_are_thread_count_invariant() {
+    let render_all = || {
+        let fig11 = b::fig11_failures::run(true);
+        let fig16 = b::fig16_llm::run(true);
+        (
+            b::fig11_failures::render(&fig11),
+            rows_to_json(&fig11),
+            rows_to_json(&fig16),
+        )
+    };
+    let one = with_thread_override(1, render_all);
+    let two = with_thread_override(2, render_all);
+    let eight = with_thread_override(8, render_all);
+    assert_eq!(one.0, two.0, "fig11 table differs between 1 and 2 workers");
+    assert_eq!(one.0, eight.0, "fig11 table differs between 1 and 8 workers");
+    assert_eq!(one.1, two.1, "fig11 JSON differs between 1 and 2 workers");
+    assert_eq!(one.1, eight.1, "fig11 JSON differs between 1 and 8 workers");
+    assert_eq!(one.2, two.2, "fig16 JSON differs between 1 and 2 workers");
+    assert_eq!(one.2, eight.2, "fig16 JSON differs between 1 and 8 workers");
+}

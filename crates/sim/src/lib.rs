@@ -22,7 +22,10 @@
 //! The engine is intentionally synchronous and single-threaded (per the
 //! smoltcp idiom of explicit, poll-driven state machines): determinism and
 //! debuggability matter more here than wall-clock parallelism. Parameter
-//! sweeps parallelize across *runs*, not within one.
+//! sweeps parallelize across *runs*, not within one — the [`par`] work
+//! pool fans independent `(experiment, seed)` runs out across cores while
+//! keeping every reduction in input order, so parallel output bytes are
+//! identical to a sequential run at any thread count.
 //!
 //! ```
 //! use stellar_sim::{EventQueue, SimTime, SimDuration};
@@ -42,6 +45,7 @@
 pub mod bench_timer;
 mod cache;
 pub mod json;
+pub mod par;
 pub mod proptest_lite;
 mod queue;
 mod rng;

@@ -1,0 +1,281 @@
+//! A deterministic in-tree work pool (zero external deps, per the
+//! workspace policy).
+//!
+//! The simulation engine itself stays intentionally single-threaded —
+//! determinism inside one run comes from the [`EventQueue`]'s FIFO
+//! tie-break and the seeded [`SimRng`]. What *is* embarrassingly parallel
+//! is the layer above: every `(experiment, seed)` pair is a pure function
+//! of its config, so independent runs can fan out across cores as long as
+//! the *reduction* stays ordered. [`par_map`] provides exactly that
+//! shape: jobs execute on `min(jobs, threads)` workers claiming work via
+//! an atomic index, and the result of input `i` lands in output slot `i`,
+//! so every consumer — printed tables, `--json` rows, seed averages —
+//! sees the same byte-identical order as a sequential run.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. a scoped programmatic override ([`with_thread_override`], used by
+//!    the `--perf` baseline pass and the byte-identity tests),
+//! 2. the `STELLAR_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `STELLAR_THREADS=1` (or one available core) short-circuits to a plain
+//! in-place loop — no threads are spawned, and by the ordered-reduction
+//! guarantee the output bytes are identical either way.
+//!
+//! Determinism rules for jobs (see DESIGN.md §5, "Determinism under
+//! parallelism"):
+//!
+//! * every job must derive all randomness from its own input (its own
+//!   [`SimRng`] constructed from a seed carried by the item) — never from
+//!   shared mutable state;
+//! * jobs must not communicate; the only output is the return value;
+//! * a panicking job does not poison its siblings: all jobs still run,
+//!   and the panic of the *lowest-index* failing job is re-raised after
+//!   the pool drains, so failure reporting is independent of scheduling.
+//!
+//! The module also owns the per-thread *scheduled-event* counter that
+//! [`EventQueue::schedule`] ticks. [`events_scheduled_here`] reads the
+//! calling thread's count; `par_map` folds the events its workers
+//! scheduled back into the caller's counter when the pool drains, so a
+//! `(before, after)` snapshot pair around any call — including one that
+//! internally fans out — yields an inclusive event count. The `--perf`
+//! harness of the `reproduce` binary is built on this.
+//!
+//! [`EventQueue`]: crate::EventQueue
+//! [`EventQueue::schedule`]: crate::EventQueue::schedule
+//! [`SimRng`]: crate::SimRng
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Events scheduled by this thread (plus events folded in from child
+    /// pools that this thread waited on).
+    static EVENTS_SCHEDULED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Programmatic thread-count override; 0 means "not set". Process-global:
+/// the byte-identity guarantee makes racing overrides harmless for
+/// correctness (results never depend on the thread count), so a plain
+/// atomic beats threading a handle through every call site.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Total simulation events scheduled on this thread, inclusive of any
+/// [`par_map`] pools this thread has drained. Take a snapshot before and
+/// after a run and subtract to attribute events to it.
+pub fn events_scheduled_here() -> u64 {
+    EVENTS_SCHEDULED.with(|c| c.get())
+}
+
+/// Tick the per-thread event counter (called by `EventQueue::schedule`).
+pub(crate) fn record_scheduled_event() {
+    EVENTS_SCHEDULED.with(|c| c.set(c.get() + 1));
+}
+
+fn add_events(n: u64) {
+    EVENTS_SCHEDULED.with(|c| c.set(c.get() + n));
+}
+
+/// Run `f` with the worker count pinned to `threads`, restoring the
+/// previous override afterwards. Used by the `--perf` baseline pass
+/// (`threads = 1`) and by tests asserting byte-identity across thread
+/// counts.
+pub fn with_thread_override<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads >= 1, "thread override must be at least 1");
+    let prev = THREAD_OVERRIDE.swap(threads, Ordering::SeqCst);
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The configured worker count: the programmatic override if set, else
+/// `STELLAR_THREADS`, else [`std::thread::available_parallelism`].
+///
+/// # Panics
+/// Panics if `STELLAR_THREADS` is set but not a positive integer —
+/// a silently ignored misconfiguration would be worse than a loud one.
+pub fn configured_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(raw) = std::env::var("STELLAR_THREADS") {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => panic!("STELLAR_THREADS must be a positive integer, got {raw:?}"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to [`configured_threads`] workers,
+/// collecting the result of input `i` into output slot `i`.
+///
+/// Scheduling is work-stealing by atomic index, so wall-clock order is
+/// arbitrary — but the returned `Vec` is always in input order, and jobs
+/// may not share mutable state, so the *observable* result is identical
+/// to `items.iter().map(f).collect()` at any thread count.
+///
+/// # Panics
+/// If one or more jobs panic, every job still runs to completion (no
+/// hang, no poisoned siblings) and the panic payload of the
+/// lowest-index failing job is re-raised — the same job a sequential
+/// run would have failed on first.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = configured_threads().min(n);
+    if threads <= 1 {
+        // In-place fast path: nothing spawned, counters tick on the
+        // caller's thread directly.
+        return items.iter().map(f).collect();
+    }
+
+    type JobResult<R> = Result<R, Box<dyn std::any::Any + Send>>;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobResult<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let child_events = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let before = events_scheduled_here();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                    *slots[i].lock().expect("job slot lock") = Some(result);
+                }
+                // Fold this worker's events into the pool total; the
+                // caller inherits them below so outer snapshots stay
+                // inclusive.
+                let delta = events_scheduled_here() - before;
+                child_events.fetch_add(delta, Ordering::Relaxed);
+            });
+        }
+    });
+    add_events(child_events.load(Ordering::Relaxed));
+
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    for (i, slot) in slots.into_iter().enumerate() {
+        let result = slot
+            .into_inner()
+            .expect("job slot lock")
+            .expect("every job index below n was claimed and ran");
+        match result {
+            Ok(r) => out.push(r),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some((i, payload));
+                }
+            }
+        }
+    }
+    if let Some((i, payload)) = first_panic {
+        eprintln!("par_map: job {i}/{n} panicked; re-raising its panic");
+        resume_unwind(payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = with_thread_override(8, || par_map(&items, |&x| x * 2));
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn override_one_runs_inline() {
+        // No threads spawned: jobs observe the caller's thread id.
+        let caller = std::thread::current().id();
+        let ids = with_thread_override(1, || {
+            par_map(&[0u8; 4], |_| std::thread::current().id())
+        });
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let count = AtomicU32::new(0);
+        let items: Vec<u32> = (0..57).collect();
+        let out = with_thread_override(4, || {
+            par_map(&items, |&x| {
+                count.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 57);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn panic_propagates_lowest_index() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_thread_override(4, || {
+                par_map(&[0u32, 1, 2, 3, 4, 5, 6, 7], |&x| {
+                    if x == 6 {
+                        panic!("boom-six");
+                    }
+                    if x == 2 {
+                        panic!("boom-two");
+                    }
+                    x
+                })
+            })
+        }));
+        let payload = result.expect_err("must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload is the literal");
+        assert_eq!(msg, "boom-two", "lowest failing index wins");
+    }
+
+    #[test]
+    fn events_fold_into_caller() {
+        use crate::{EventQueue, SimDuration, SimTime};
+        let before = events_scheduled_here();
+        let items: Vec<u64> = (1..=8).collect();
+        with_thread_override(4, || {
+            par_map(&items, |&k| {
+                let mut q = EventQueue::new();
+                for i in 0..k {
+                    q.schedule(SimTime::ZERO + SimDuration::from_nanos(i), ());
+                }
+            })
+        });
+        let delta = events_scheduled_here() - before;
+        assert_eq!(delta, (1..=8).sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_override_rejected() {
+        with_thread_override(0, || ());
+    }
+}

@@ -126,22 +126,32 @@ fn replay_seed() -> Option<u64> {
 
 /// Run `cases` randomized cases of a property.
 ///
-/// The property panics (via `assert!` and friends) to signal failure; the
-/// harness reports the property name, case number, and the seed to
-/// replay, then propagates the panic so the test fails normally. Setting
-/// `STELLAR_PT_SEED` runs exactly one case with that seed.
-pub fn check(name: &str, cases: u32, mut property: impl FnMut(&mut Gen)) {
+/// Cases run in parallel on the [`par`](crate::par) work pool (each case
+/// already has its own seed-derived [`Gen`], so cases are independent by
+/// construction), which is why the property must be `Fn + Sync` rather
+/// than `FnMut`. Failure reporting stays deterministic regardless of
+/// scheduling: every case runs, and the harness reports — and re-raises
+/// the panic of — the *lowest-index* failing case, exactly the case a
+/// sequential run would have stopped on. The report prints the case seed;
+/// setting `STELLAR_PT_SEED` to that value re-runs exactly the failing
+/// case, single-threaded, as before.
+pub fn check(name: &str, cases: u32, property: impl Fn(&mut Gen) + Sync) {
     if let Some(seed) = replay_seed() {
         eprintln!("proptest_lite: replaying '{name}' with seed {seed:#x}");
         property(&mut Gen::from_seed(seed));
         return;
     }
-    for case in 0..cases {
-        let seed = case_seed(name, case as u64);
-        let result = catch_unwind(AssertUnwindSafe(|| {
+    let indices: Vec<u64> = (0..cases as u64).collect();
+    let failures = crate::par::par_map(&indices, |&case| {
+        let seed = case_seed(name, case);
+        catch_unwind(AssertUnwindSafe(|| {
             property(&mut Gen::from_seed(seed));
-        }));
-        if let Err(panic) = result {
+        }))
+        .err()
+        .map(|panic| (seed, panic))
+    });
+    for (case, failure) in failures.into_iter().enumerate() {
+        if let Some((seed, panic)) = failure {
             eprintln!(
                 "proptest_lite: property '{name}' failed at case {case}/{cases} \
                  (seed {seed:#x}); replay with STELLAR_PT_SEED={seed:#x}"

@@ -52,12 +52,35 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for `capacity` pending events. Hot
+    /// construction paths (one simulator per experiment × seed) use this
+    /// to skip the heap's incremental regrowth.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
         }
+    }
+
+    /// Drop all pending events and reset the clock, FIFO sequence, and
+    /// scheduled-total counter to their initial state — but keep the
+    /// heap's allocation, so repeated seed runs reuse it instead of
+    /// rebuilding the heap from scratch.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.scheduled_total = 0;
+    }
+
+    /// Events the queue can hold without reallocating (reuse tests).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// The current simulated time: the timestamp of the most recently popped
@@ -80,6 +103,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
+        crate::par::record_scheduled_event();
         self.heap.push(Reverse(Entry { at, seq, event }));
     }
 
@@ -177,6 +201,36 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let q: EventQueue<()> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clear_resets_state_but_keeps_allocation() {
+        let mut q = EventQueue::with_capacity(128);
+        for i in 0..100 {
+            q.schedule(t(i + 1), i);
+        }
+        q.pop();
+        assert!(q.now() > SimTime::ZERO);
+        let cap = q.capacity();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.capacity(), cap, "clear must keep the allocation");
+        // The FIFO sequence restarted: a fresh run is indistinguishable
+        // from one on a newly-built queue.
+        q.schedule(t(5), 1u64);
+        q.schedule(t(5), 2u64);
+        assert_eq!(q.pop(), Some((t(5), 1)));
+        assert_eq!(q.pop(), Some((t(5), 2)));
     }
 
     #[test]

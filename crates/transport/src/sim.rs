@@ -147,12 +147,33 @@ impl TransportSim {
         TransportSim {
             config,
             network,
-            queue: EventQueue::new(),
+            // Every packet in flight holds a Deliver and an Rto event;
+            // presize for a healthy window's worth so the heap does not
+            // regrow during the first ramp-up.
+            queue: EventQueue::with_capacity(1024),
             conns: Vec::new(),
             completions: Vec::new(),
             errors: Vec::new(),
             rng,
         }
+    }
+
+    /// Rebuild this simulation for a fresh run over a new fabric,
+    /// reusing the event-queue and connection-table allocations instead
+    /// of rebuilding them (repeated seed runs — calibration + chaos
+    /// passes, per-seed averaging — construct thousands of these).
+    ///
+    /// Equivalent to `TransportSim::new(network, self.config, rng)` with
+    /// warm allocations: the clock restarts at zero and all connections
+    /// are dropped, so a reset sim is observably identical to a fresh
+    /// one.
+    pub fn reset(&mut self, network: Network, rng: SimRng) {
+        self.network = network;
+        self.queue.clear();
+        self.conns.clear();
+        self.completions.clear();
+        self.errors.clear();
+        self.rng = rng;
     }
 
     /// Current simulated time.
@@ -1072,6 +1093,46 @@ mod tests {
         for epoch in 0..10 {
             assert_eq!(sim.rto_after(epoch), sim.config().rto);
         }
+    }
+
+    #[test]
+    fn reset_sim_is_observably_identical_to_fresh() {
+        let topo_cfg = ClosConfig {
+            segments: 2,
+            hosts_per_segment: 4,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 8,
+        };
+        let run = |sim: &mut TransportSim| -> (u64, u64, u64) {
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(4, 0);
+            let conn = sim.add_connection(src, dst);
+            let msg = sim.post_message(conn, 4 * 1024 * 1024);
+            sim.run(&mut NoopApp, FOREVER);
+            let st = sim.conn_stats(conn);
+            (
+                sim.message_completed_at(conn, msg).unwrap().as_nanos(),
+                st.sent_packets,
+                st.ecn_acks,
+            )
+        };
+        // Fresh sim, seed 21.
+        let mut fresh = make_sim(PathAlgo::Obs, 128, 21);
+        let fresh_result = run(&mut fresh);
+        // A sim that already ran seed 42, reset onto seed 21's fabric.
+        let mut recycled = make_sim(PathAlgo::Obs, 128, 42);
+        run(&mut recycled);
+        let rng = SimRng::from_seed(21);
+        let network = Network::new(
+            ClosTopology::build(topo_cfg),
+            NetworkConfig::default(),
+            rng.fork("net"),
+        );
+        recycled.reset(network, rng.fork("transport"));
+        assert_eq!(recycled.connection_count(), 0);
+        assert_eq!(recycled.now(), SimTime::ZERO);
+        assert_eq!(run(&mut recycled), fresh_result);
     }
 
     #[test]

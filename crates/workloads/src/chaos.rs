@@ -184,8 +184,7 @@ impl App for ErrorWatch {
     }
 }
 
-fn build_sim(config: &ChaosConfig) -> (TransportSim, Vec<NicId>) {
-    let rng = SimRng::from_seed(config.seed);
+fn build_network(config: &ChaosConfig, rng: &SimRng) -> Network {
     let topo = ClosTopology::build(ClosConfig {
         segments: 2,
         hosts_per_segment: config.ranks / 2,
@@ -193,14 +192,29 @@ fn build_sim(config: &ChaosConfig) -> (TransportSim, Vec<NicId>) {
         planes: 2,
         aggs_per_plane: 60,
     });
-    let network = Network::new(
+    Network::new(
         topo,
         NetworkConfig {
             bgp_convergence: config.bgp_convergence,
             ..NetworkConfig::default()
         },
         rng.fork("net"),
-    );
+    )
+}
+
+/// Ring alternating across segments so every edge crosses the agg layer.
+fn ring_nics(config: &ChaosConfig, sim: &TransportSim) -> Vec<NicId> {
+    (0..config.ranks)
+        .map(|r| {
+            let host = (r / 2) + (r % 2) * (config.ranks / 2);
+            sim.network().topology().nic(host, 0)
+        })
+        .collect()
+}
+
+fn build_sim(config: &ChaosConfig) -> (TransportSim, Vec<NicId>) {
+    let rng = SimRng::from_seed(config.seed);
+    let network = build_network(config, &rng);
     // 2 planes × 60 aggs = the production 120-way path fan-out; losing a
     // few slots to faults is survivable by construction (§7.2).
     let sim = TransportSim::new(
@@ -215,12 +229,7 @@ fn build_sim(config: &ChaosConfig) -> (TransportSim, Vec<NicId>) {
         },
         rng.fork("transport"),
     );
-    let nics: Vec<NicId> = (0..config.ranks)
-        .map(|r| {
-            let host = (r / 2) + (r % 2) * (config.ranks / 2);
-            sim.network().topology().nic(host, 0)
-        })
-        .collect();
+    let nics = ring_nics(config, &sim);
     (sim, nics)
 }
 
@@ -300,8 +309,9 @@ fn build_plan(
 }
 
 /// Run the calibration pass: fault-free, same seed. Returns the mean
-/// busbw (GB/s) and mean iteration time.
-fn calibrate(config: &ChaosConfig) -> (f64, SimDuration) {
+/// busbw (GB/s) and mean iteration time, plus the spent simulator so the
+/// chaos pass can [`TransportSim::reset`] it instead of reallocating.
+fn calibrate(config: &ChaosConfig) -> (f64, SimDuration, TransportSim) {
     let (mut sim, nics) = build_sim(config);
     let mut runner = AllReduceRunner::new(
         &mut sim,
@@ -324,14 +334,19 @@ fn calibrate(config: &ChaosConfig) -> (f64, SimDuration) {
     let mean_iter = SimDuration::from_nanos(
         (total.as_nanos() / report.iterations.len() as u64).max(1),
     );
-    (report.mean_bus_bandwidth_gbs(), mean_iter)
+    (report.mean_bus_bandwidth_gbs(), mean_iter, sim)
 }
 
 /// Run one chaos scenario (calibration + chaos pass).
 pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
-    let (healthy_busbw, iter_time) = calibrate(config);
+    let (healthy_busbw, iter_time, mut sim) = calibrate(config);
 
-    let (mut sim, nics) = build_sim(config);
+    // Same seed as calibration, fresh fabric; the spent calibration sim
+    // is reset in place so the chaos pass reuses its event-queue and
+    // connection-table allocations.
+    let rng = SimRng::from_seed(config.seed);
+    sim.reset(build_network(config, &rng), rng.fork("transport"));
+    let nics = ring_nics(config, &sim);
     let plan = build_plan(config, &sim, &nics, iter_time);
     let fault_start = plan
         .into_events()

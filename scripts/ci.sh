@@ -24,3 +24,22 @@ if [ "$a" != "$b" ]; then
     diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
     exit 1
 fi
+
+# Thread-count gate: the full experiment suite must emit byte-identical
+# JSON whether it runs on one worker or eight — parallelism may change
+# only wall-clock, never results (see DESIGN.md, "Determinism under
+# parallelism").
+one="$(STELLAR_THREADS=1 cargo run --release --offline -p stellar-bench --bin reproduce -- all --quick --json)"
+many="$(STELLAR_THREADS=8 cargo run --release --offline -p stellar-bench --bin reproduce -- all --quick --json)"
+if [ "$one" != "$many" ]; then
+    echo "thread-count gate: reproduce all --json differs between 1 and 8 workers" >&2
+    diff <(printf '%s\n' "$one") <(printf '%s\n' "$many") >&2 || true
+    exit 1
+fi
+
+# Perf harness: archive the wall-clock/event report for this build. The
+# run doubles as a third determinism pass (--perf re-runs everything on
+# one worker and fails if any output byte differs).
+cargo run --release --offline -p stellar-bench --bin reproduce -- all --quick --perf >/dev/null
+echo "archived BENCH_reproduce.json:"
+cat BENCH_reproduce.json
