@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [<experiment>] [--quick] [--json] [--perf] [--list]
+//! reproduce [<experiment>] [--quick] [--json] [--perf] [--trace] [--list]
 //!   experiments: fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 //!                fig16 table1 claims timeline chaos all
 //! ```
@@ -11,18 +11,26 @@
 //! EXPERIMENTS.md); `--list` prints the experiment names and exits;
 //! `--perf` additionally re-runs everything on one thread and writes a
 //! `BENCH_reproduce.json` wall-clock/event report next to the working
-//! directory.
+//! directory; `--trace` runs each experiment under the
+//! `stellar-telemetry` flight recorder and writes one
+//! `TRACE_<experiment>.json` per selected experiment (stage latency
+//! breakdowns, per-subsystem counters, and the tail of the event ring).
 //!
 //! Experiments run on the deterministic work pool (`stellar_sim::par`):
-//! `STELLAR_THREADS` caps the worker count, and the printed bytes are
-//! identical at every thread count — results are collected into
-//! declaration-order slots before anything is printed.
+//! `STELLAR_THREADS` caps the worker count, and the printed bytes —
+//! including every `TRACE_*.json` — are identical at every thread count:
+//! results are collected into declaration-order slots before anything is
+//! printed, and per-job telemetry folds in job order.
 
 use std::time::Instant;
 
 use stellar_bench as b;
 use stellar_sim::json::{rows_to_json, Arr, Obj};
-use stellar_sim::par::{configured_threads, events_scheduled_here, par_map, with_thread_override};
+use stellar_sim::par::{
+    configured_threads, events_scheduled_here, note_queue_depth, par_map, take_queue_depth_peak,
+    with_thread_override,
+};
+use stellar_telemetry::TelemetryConfig;
 
 /// One reproducible experiment: a stable name plus a runner that returns
 /// the fully rendered stdout bytes for the chosen mode.
@@ -78,6 +86,7 @@ struct Args {
     quick: bool,
     json: bool,
     perf: bool,
+    trace: bool,
     list: bool,
     which: String,
 }
@@ -89,6 +98,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
         quick: false,
         json: false,
         perf: false,
+        trace: false,
         list: false,
         which: String::new(),
     };
@@ -97,10 +107,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--quick" => parsed.quick = true,
             "--json" => parsed.json = true,
             "--perf" => parsed.perf = true,
+            "--trace" => parsed.trace = true,
             "--list" => parsed.list = true,
             flag if flag.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag '{flag}'; expected --quick, --json, --perf or --list"
+                    "unknown flag '{flag}'; expected --quick, --json, --perf, --trace or --list"
                 ));
             }
             name if parsed.which.is_empty() => parsed.which = name.to_string(),
@@ -123,40 +134,74 @@ struct PerfRec {
     name: &'static str,
     wall_ms: f64,
     events: u64,
+    peak_queue_depth: u64,
+    ring_high_water: u64,
 }
 
 /// Run the selected experiments on the work pool; outputs come back in
 /// declaration order regardless of completion order, so the printed bytes
-/// are thread-count-invariant.
-fn run_selected(selected: &[&Experiment], quick: bool, json: bool) -> (Vec<String>, Vec<PerfRec>) {
+/// are thread-count-invariant. With `trace`, each experiment runs under a
+/// telemetry capture and its rendered `TRACE_*.json` document rides along
+/// in the third element (declaration order, `None` when tracing is off).
+fn run_selected(
+    selected: &[&Experiment],
+    quick: bool,
+    json: bool,
+    trace: bool,
+) -> (Vec<String>, Vec<PerfRec>, Vec<Option<String>>) {
     let results = par_map(selected, |exp| {
+        // Bracket the job with the queue-depth accumulator so `peak` is
+        // this experiment's own high-water mark, then restore the running
+        // maximum so the pool still folds the overall peak to the caller.
+        let saved = take_queue_depth_peak();
         let t0 = Instant::now();
         let ev0 = events_scheduled_here();
-        let out = (exp.run)(quick, json);
+        let (out, trace_doc, ring_high_water) = if trace {
+            let (out, tel) =
+                stellar_telemetry::capture(TelemetryConfig::default(), || (exp.run)(quick, json));
+            let high_water = tel.recorder.high_water() as u64;
+            (out, Some(tel.to_json(exp.name)), high_water)
+        } else {
+            ((exp.run)(quick, json), None, 0)
+        };
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let events = events_scheduled_here() - ev0;
+        let peak = take_queue_depth_peak();
+        note_queue_depth(saved.max(peak));
         PerfSample {
             out,
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-            events: events_scheduled_here() - ev0,
+            wall_ms,
+            events,
+            peak_queue_depth: peak,
+            ring_high_water,
+            trace_doc,
             name: exp.name,
         }
     });
     let mut outputs = Vec::with_capacity(results.len());
     let mut perf = Vec::with_capacity(results.len());
+    let mut traces = Vec::with_capacity(results.len());
     for s in results {
         outputs.push(s.out);
+        traces.push(s.trace_doc);
         perf.push(PerfRec {
             name: s.name,
             wall_ms: s.wall_ms,
             events: s.events,
+            peak_queue_depth: s.peak_queue_depth,
+            ring_high_water: s.ring_high_water,
         });
     }
-    (outputs, perf)
+    (outputs, perf, traces)
 }
 
 struct PerfSample {
     out: String,
     wall_ms: f64,
     events: u64,
+    peak_queue_depth: u64,
+    ring_high_water: u64,
+    trace_doc: Option<String>,
     name: &'static str,
 }
 
@@ -185,6 +230,8 @@ fn perf_report(
                     "events_per_sec",
                     if secs > 0.0 { p.events as f64 / secs } else { 0.0 },
                 )
+                .field_u64("peak_queue_depth", p.peak_queue_depth)
+                .field_u64("ring_high_water", p.ring_high_water)
                 .field_f64("baseline_wall_ms", bp.wall_ms)
                 .field_f64("speedup", bp.wall_ms / p.wall_ms.max(1e-9))
                 .finish(),
@@ -246,20 +293,33 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let (outputs, perf) = run_selected(&selected, args.quick, args.json);
+    let (outputs, perf, traces) = run_selected(&selected, args.quick, args.json, args.trace);
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
     for out in &outputs {
         print!("{out}");
     }
 
+    if args.trace {
+        for (exp, doc) in selected.iter().zip(&traces) {
+            let doc = doc.as_ref().expect("tracing was on");
+            let path = format!("TRACE_{}.json", exp.name);
+            std::fs::write(&path, doc).expect("write TRACE json");
+            eprintln!("trace: wrote {path}");
+        }
+    }
+
     if args.perf {
         let threads = configured_threads();
         let t1 = Instant::now();
-        let (base_outputs, baseline) =
-            with_thread_override(1, || run_selected(&selected, args.quick, args.json));
+        let (base_outputs, baseline, base_traces) =
+            with_thread_override(1, || run_selected(&selected, args.quick, args.json, args.trace));
         let baseline_elapsed_ms = t1.elapsed().as_secs_f64() * 1e3;
         if outputs != base_outputs {
             eprintln!("error: output differs between {threads} thread(s) and 1 thread");
+            std::process::exit(1);
+        }
+        if traces != base_traces {
+            eprintln!("error: trace output differs between {threads} thread(s) and 1 thread");
             std::process::exit(1);
         }
         let report = perf_report(
@@ -295,14 +355,14 @@ mod tests {
     fn defaults_to_all() {
         let args = parse(&[]).unwrap();
         assert_eq!(args.which, "all");
-        assert!(!args.quick && !args.json && !args.perf && !args.list);
+        assert!(!args.quick && !args.json && !args.perf && !args.trace && !args.list);
     }
 
     #[test]
     fn accepts_known_flags_in_any_order() {
-        let args = parse(&["--json", "fig11", "--quick", "--perf"]).unwrap();
+        let args = parse(&["--json", "fig11", "--quick", "--perf", "--trace"]).unwrap();
         assert_eq!(args.which, "fig11");
-        assert!(args.quick && args.json && args.perf);
+        assert!(args.quick && args.json && args.perf && args.trace);
     }
 
     #[test]

@@ -74,6 +74,22 @@ pub enum FaultEvent {
     },
 }
 
+impl FaultEvent {
+    /// Stable snake_case tag used by telemetry trace events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultEvent::LinkDown(_) => "fault.link_down",
+            FaultEvent::LinkUp(_) => "fault.link_up",
+            FaultEvent::SwitchDown(_) => "fault.switch_down",
+            FaultEvent::SwitchUp(_) => "fault.switch_up",
+            FaultEvent::NicPortDown { .. } => "fault.nic_port_down",
+            FaultEvent::NicPortUp { .. } => "fault.nic_port_up",
+            FaultEvent::SetLoss { .. } => "fault.set_loss",
+            FaultEvent::DegradeRamp { .. } => "fault.degrade_ramp",
+        }
+    }
+}
+
 /// A seeded, time-ordered fault schedule.
 ///
 /// Build with the chained helpers, then hand to

@@ -17,6 +17,7 @@
 
 use stellar_sim::stats::Gauge;
 use stellar_sim::{transmit_time, SimDuration, SimRng, SimTime};
+use stellar_telemetry::{count, event, stage_sample, Entity, Stage, Subsystem};
 
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::topology::{ClosTopology, LinkId, NicId};
@@ -70,6 +71,27 @@ pub enum DropReason {
 }
 
 impl DropReason {
+    /// Stable snake_case name used by the telemetry counter taxonomy
+    /// (`drop.<name>`) and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::BufferOverflow => "buffer_overflow",
+            DropReason::RandomLoss => "random_loss",
+            DropReason::LinkDown => "link_down",
+            DropReason::DegradedLink => "degraded_link",
+        }
+    }
+
+    /// The telemetry hub counter name for this reason.
+    fn counter(self) -> &'static str {
+        match self {
+            DropReason::BufferOverflow => "drop.buffer_overflow",
+            DropReason::RandomLoss => "drop.random_loss",
+            DropReason::LinkDown => "drop.link_down",
+            DropReason::DegradedLink => "drop.degraded_link",
+        }
+    }
+
     /// Dense index for per-reason counters.
     pub(crate) fn index(self) -> usize {
         match self {
@@ -317,6 +339,8 @@ impl Network {
     /// packet that triggered the catch-up — the control plane's
     /// convergence clock starts at the true fault time).
     fn apply_fault_event(&mut self, at: SimTime, ev: FaultEvent) {
+        count(Subsystem::Net, "fault.applied", 1);
+        event(at, Subsystem::Net, Entity::None, ev.kind(), 0);
         match ev {
             FaultEvent::LinkDown(l) => self.set_link_state_at(at, l, false),
             FaultEvent::LinkUp(l) => self.set_link_state_at(at, l, true),
@@ -415,8 +439,13 @@ impl Network {
     ) -> Delivery {
         self.apply_faults(now);
         let delivery = self.forward(now, src, dst, flow, path_id, bytes);
-        if let Delivery::Dropped { reason, .. } = delivery {
+        if let Delivery::Dropped { reason, link, at } = delivery {
             self.drop_counts[reason.index()] += 1;
+            // The hub mirrors the fabric's per-reason counters at this
+            // single site, so hub totals equal `drops_by_reason` exactly
+            // (no double-counting).
+            count(Subsystem::Net, reason.counter(), 1);
+            event(at, Subsystem::Net, Entity::Link(link.0), reason.name(), bytes);
         }
         if let Some((records, limit)) = &mut self.trace {
             if records.len() < *limit {
@@ -519,6 +548,11 @@ impl Network {
             if backlog > self.config.ecn_threshold_bytes {
                 ecn = true;
                 link.ecn_marks += 1;
+                count(Subsystem::Net, "ecn_mark", 1);
+            }
+            if wait > SimDuration::ZERO {
+                // Time this packet spends queued behind the port backlog.
+                stage_sample(Stage::FabricQueueing, wait);
             }
             let start = if link.next_free > t { link.next_free } else { t };
             let depart = start + transmit_time(bytes, self.config.link_gbps);

@@ -13,6 +13,7 @@
 //! entirely.
 
 use stellar_sim::{LruCache, SimDuration};
+use stellar_telemetry::{count, stage_sample, Stage, Subsystem};
 
 use crate::addr::{Address, Hpa, Iova};
 use crate::iommu::{Iommu, IommuError};
@@ -87,6 +88,8 @@ impl Atc {
         let page = iova.page_base(self.config.page_size).raw();
         let offset = iova.page_offset(self.config.page_size);
         if let Some(&hpa_page) = self.cache.get(&page) {
+            count(Subsystem::Pcie, "atc.hit", 1);
+            stage_sample(Stage::AtcHit, self.config.hit_latency);
             return Ok(AtcLookup {
                 hpa: Hpa(hpa_page + offset),
                 latency: self.config.hit_latency,
@@ -94,11 +97,14 @@ impl Atc {
             });
         }
         self.ats_requests += 1;
+        count(Subsystem::Pcie, "atc.miss", 1);
         let t = iommu.translate(iova)?;
         self.cache.insert(page, t.hpa.raw() - offset);
+        let latency = self.config.ats_round_trip + t.latency;
+        stage_sample(Stage::AtsWalk, latency);
         Ok(AtcLookup {
             hpa: t.hpa,
-            latency: self.config.ats_round_trip + t.latency,
+            latency,
             atc_hit: false,
         })
     }

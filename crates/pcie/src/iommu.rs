@@ -12,6 +12,7 @@
 //!   IOTLB misses (the paper's pcm-iio observation in Fig. 8).
 
 use stellar_sim::{LruCache, SimDuration};
+use stellar_telemetry::{count, stage_sample, Stage, Subsystem};
 
 use crate::addr::{Address, Gpa, Hpa, Iova, PAGE_4K};
 use crate::paging::{PageTable, PagingError};
@@ -177,6 +178,8 @@ impl Iommu {
         let page = iova.page_base(self.config.page_size).raw();
         let offset = iova.page_offset(self.config.page_size);
         if let Some(&hpa_page) = self.iotlb.get(&page) {
+            count(Subsystem::Pcie, "iommu.iotlb_hit", 1);
+            stage_sample(Stage::IotlbHit, self.config.iotlb_hit_latency);
             return Ok(Translation {
                 hpa: Hpa(hpa_page + offset),
                 latency: self.config.iotlb_hit_latency,
@@ -186,6 +189,8 @@ impl Iommu {
         match self.table.translate(iova) {
             Ok(hpa) => {
                 self.iotlb.insert(page, hpa.raw() - offset);
+                count(Subsystem::Pcie, "iommu.iotlb_miss", 1);
+                stage_sample(Stage::IommuWalk, self.config.walk_latency);
                 Ok(Translation {
                     hpa,
                     latency: self.config.walk_latency,
@@ -194,6 +199,7 @@ impl Iommu {
             }
             Err(_) => {
                 self.faults += 1;
+                count(Subsystem::Pcie, "iommu.fault", 1);
                 Err(IommuError::Fault(iova))
             }
         }
@@ -210,6 +216,8 @@ impl Iommu {
         let cost = self.config.pin_call_overhead + self.config.pin_per_4k_page.mul(pages_4k);
         self.pinned_bytes += len;
         self.total_pin_time += cost;
+        count(Subsystem::Pcie, "iommu.pinned_pages", pages_4k);
+        stage_sample(Stage::VirtPin, cost);
         Ok(cost)
     }
 
@@ -238,6 +246,10 @@ impl Iommu {
         };
         self.pinned_bytes += newly_mapped * self.config.page_size;
         self.total_pin_time += cost;
+        if newly_mapped > 0 {
+            count(Subsystem::Pcie, "iommu.pinned_pages", pages_4k);
+            stage_sample(Stage::VirtPin, cost);
+        }
         Ok(cost)
     }
 

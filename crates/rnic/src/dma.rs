@@ -31,6 +31,7 @@ use stellar_pcie::ats::Atc;
 use stellar_pcie::topology::{AtField, DeviceId, Fabric, FabricError, RoutePath, Tlp, TlpKind};
 use stellar_pcie::{Gva, Hpa};
 use stellar_sim::{transmit_time, SimDuration};
+use stellar_telemetry::{count, stage_sample, Stage, Subsystem};
 
 use crate::mtt::{MemOwner, Mtt, MttEntry, MttError};
 use crate::verbs::MrKey;
@@ -217,6 +218,9 @@ impl DmaEngine {
 
         let mut report = DmaReport::default();
         let mut elapsed = self.config.per_message_overhead;
+        // Doorbell ring → descriptor fetch: the per-message NIC overhead.
+        count(Subsystem::Rnic, "dma.ops", 1);
+        stage_sample(Stage::DoorbellDmaFetch, self.config.per_message_overhead);
         let mut remaining = len;
         let mut cursor = gva;
         let mut first = true;
@@ -290,8 +294,10 @@ impl DmaEngine {
             let via_rc = outcome.path == RoutePath::ViaRootComplex;
             if via_rc {
                 report.rc_pages += 1;
+                count(Subsystem::Rnic, "dma.pages_rc", 1);
             } else {
                 report.p2p_pages += 1;
+                count(Subsystem::Rnic, "dma.pages_p2p", 1);
             }
 
             let mut wire = transmit_time(chunk, self.config.port_gbps);
@@ -309,6 +315,10 @@ impl DmaEngine {
                 first = false;
             }
 
+            // Pipelined per-page service time: what each page adds to the
+            // message clock (translation + fabric amortized over the RX
+            // pipeline), so stage totals reconcile with `elapsed`.
+            stage_sample(Stage::DmaTlpCompletion, page_time);
             elapsed += page_time;
             report.bytes += chunk;
             report.pages += 1;

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use stellar_pcie::addr::{Hpa, Range, PAGE_4K};
+use stellar_telemetry::{count, Subsystem};
 
 use crate::vdev::VdevId;
 
@@ -78,6 +79,7 @@ impl DoorbellTable {
         let id = DoorbellId(self.next_id);
         self.next_id += 1;
         self.by_vdev.insert(vdev, (id, offset));
+        count(Subsystem::Rnic, "doorbell.alloc", 1);
         Ok((id, Hpa(self.bar.base.0 + offset)))
     }
 
@@ -88,6 +90,7 @@ impl DoorbellTable {
             .remove(&vdev)
             .ok_or(DoorbellError::NotAllocated(vdev))?;
         self.free.push(offset);
+        count(Subsystem::Rnic, "doorbell.release", 1);
         Ok(())
     }
 

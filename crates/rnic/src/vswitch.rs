@@ -17,6 +17,7 @@
 //! rules for RDMA), which is modelled by simply not installing RDMA rules.
 
 use stellar_sim::SimDuration;
+use stellar_telemetry::{count, Subsystem};
 
 /// Traffic class a rule matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +172,7 @@ impl VSwitch {
     /// Steer a packet: walk the table in order, first match wins.
     pub fn steer(&mut self, class: RuleClass, flow_id: u64) -> Result<SteerOutcome, VSwitchError> {
         self.lookups += 1;
+        count(Subsystem::Rnic, "vswitch.steer", 1);
         for (position, rule) in self.rules.iter().enumerate() {
             if rule.class == class && rule.flow_id == flow_id {
                 self.total_positions += position as u64;

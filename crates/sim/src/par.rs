@@ -46,15 +46,23 @@
 //! [`EventQueue::schedule`]: crate::EventQueue::schedule
 //! [`SimRng`]: crate::SimRng
 
+use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 thread_local! {
     /// Events scheduled by this thread (plus events folded in from child
     /// pools that this thread waited on).
     static EVENTS_SCHEDULED: Cell<u64> = const { Cell::new(0) };
+
+    /// Deepest pending-event backlog any [`EventQueue`] on this thread
+    /// reached (plus peaks folded in from child pools this thread waited
+    /// on). Reset with [`take_queue_depth_peak`].
+    ///
+    /// [`EventQueue`]: crate::EventQueue
+    static QUEUE_DEPTH_PEAK: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Programmatic thread-count override; 0 means "not set". Process-global:
@@ -77,6 +85,67 @@ pub(crate) fn record_scheduled_event() {
 
 fn add_events(n: u64) {
     EVENTS_SCHEDULED.with(|c| c.set(c.get() + n));
+}
+
+/// Raise this thread's queue-depth high-water mark to at least `depth`.
+/// Called by `EventQueue::schedule` with the post-push backlog; callers
+/// measuring a specific region use it to restore a stashed peak.
+pub fn note_queue_depth(depth: u64) {
+    QUEUE_DEPTH_PEAK.with(|c| {
+        if depth > c.get() {
+            c.set(depth);
+        }
+    });
+}
+
+/// Read *and reset* this thread's queue-depth high-water mark. To
+/// attribute a peak to one region, take (and stash) the mark before it,
+/// take again after it, then [`note_queue_depth`] the stashed value back
+/// so enclosing measurements stay inclusive.
+pub fn take_queue_depth_peak() -> u64 {
+    QUEUE_DEPTH_PEAK.with(|c| c.replace(0))
+}
+
+/// Type-erased per-job context hooks, registered once per process.
+///
+/// This is the seam that lets a higher layer (the `stellar-telemetry`
+/// crate) give every [`par_map`] job private recording state and fold it
+/// back *in job order* without `stellar-sim` depending on that layer.
+/// All four hooks are plain `fn` pointers over `Any`, so the pool stays
+/// ignorant of the payload type:
+///
+/// * `snapshot` runs on the pool's calling thread before any job; `None`
+///   means "nothing to propagate" and the pool behaves exactly as if no
+///   hooks were registered (the common, zero-cost case).
+/// * `install` runs on the executing thread immediately before *each*
+///   job, receiving the snapshot — it sets up fresh per-job state.
+/// * `extract` runs on the executing thread immediately after the job,
+///   tearing down and returning that job's state.
+/// * `fold` runs on the calling thread after the pool drains, once per
+///   job *in input order*, merging each job's state back.
+///
+/// `install`/`extract` bracket every job even on the inline
+/// (single-thread) path: per-job state must be identical at every thread
+/// count or folded output would not be byte-identical.
+pub struct JobContextHooks {
+    /// Capture the calling thread's context to seed jobs with.
+    pub snapshot: fn() -> Option<Box<dyn Any + Send + Sync>>,
+    /// Install fresh per-job state from the snapshot (executing thread).
+    pub install: fn(&(dyn Any + Send + Sync)),
+    /// Remove and return the per-job state (executing thread).
+    pub extract: fn() -> Option<Box<dyn Any + Send>>,
+    /// Merge one job's state into the caller's context (calling thread,
+    /// invoked in job order).
+    pub fold: fn(Box<dyn Any + Send>),
+}
+
+static JOB_CTX_HOOKS: OnceLock<JobContextHooks> = OnceLock::new();
+
+/// Register the process-wide [`JobContextHooks`]. First registration
+/// wins; later calls are ignored (idempotent by design — the telemetry
+/// layer calls this on every capture).
+pub fn set_job_context_hooks(hooks: JobContextHooks) {
+    let _ = JOB_CTX_HOOKS.set(hooks);
 }
 
 /// Run `f` with the worker count pinned to `threads`, restoring the
@@ -134,38 +203,88 @@ pub fn configured_threads() -> usize {
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let n = items.len();
     let threads = configured_threads().min(n);
+    let hooks = JOB_CTX_HOOKS.get();
+    let snap = hooks.and_then(|h| (h.snapshot)());
+
     if threads <= 1 {
         // In-place fast path: nothing spawned, counters tick on the
-        // caller's thread directly.
+        // caller's thread directly. Per-job context is still installed
+        // and folded around *each* job — per-job state (e.g. a bounded
+        // flight-recorder ring) must evolve identically at every thread
+        // count, so the inline path cannot let jobs share the caller's
+        // context directly.
+        if let (Some(h), Some(s)) = (hooks, &snap) {
+            return items
+                .iter()
+                .map(|item| {
+                    (h.install)(s.as_ref());
+                    let r = f(item);
+                    if let Some(ctx) = (h.extract)() {
+                        (h.fold)(ctx);
+                    }
+                    r
+                })
+                .collect();
+        }
         return items.iter().map(f).collect();
     }
 
     type JobResult<R> = Result<R, Box<dyn std::any::Any + Send>>;
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobResult<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let ctx_slots: Vec<Mutex<Option<Box<dyn Any + Send>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let child_events = AtomicU64::new(0);
+    let child_peak = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                // Workers are fresh threads, so their counters start at 0
+                // (the snapshots below are just defensive).
                 let before = events_scheduled_here();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let result = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if let (Some(h), Some(s)) = (hooks, &snap) {
+                            (h.install)(s.as_ref());
+                        }
+                        f(&items[i])
+                    }));
+                    if let (Some(h), Some(_)) = (hooks, &snap) {
+                        if let Some(ctx) = (h.extract)() {
+                            *ctx_slots[i].lock().expect("ctx slot lock") = Some(ctx);
+                        }
+                    }
                     *slots[i].lock().expect("job slot lock") = Some(result);
                 }
                 // Fold this worker's events into the pool total; the
                 // caller inherits them below so outer snapshots stay
-                // inclusive.
+                // inclusive. Queue-depth peaks fold as a max.
                 let delta = events_scheduled_here() - before;
                 child_events.fetch_add(delta, Ordering::Relaxed);
+                child_peak.fetch_max(
+                    QUEUE_DEPTH_PEAK.with(|c| c.get()),
+                    Ordering::Relaxed,
+                );
             });
         }
     });
     add_events(child_events.load(Ordering::Relaxed));
+    note_queue_depth(child_peak.load(Ordering::Relaxed));
+    if let (Some(h), Some(_)) = (hooks, &snap) {
+        // Per-job contexts merge back strictly in input order — the same
+        // order the inline path folds them in — so the caller's merged
+        // state is thread-count-invariant.
+        for slot in &ctx_slots {
+            if let Some(ctx) = slot.lock().expect("ctx slot lock").take() {
+                (h.fold)(ctx);
+            }
+        }
+    }
 
     let mut out = Vec::with_capacity(n);
     let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
@@ -277,5 +396,34 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_override_rejected() {
         with_thread_override(0, || ());
+    }
+
+    #[test]
+    fn queue_depth_peaks_fold_into_caller() {
+        use crate::{EventQueue, SimDuration, SimTime};
+        // Stash whatever earlier tests on this thread left behind so the
+        // measurement below is attributable to this pool alone.
+        let stash = take_queue_depth_peak();
+        let items: Vec<u64> = vec![3, 9, 5];
+        with_thread_override(2, || {
+            par_map(&items, |&k| {
+                let mut q = EventQueue::new();
+                for i in 0..k {
+                    q.schedule(SimTime::ZERO + SimDuration::from_nanos(i), ());
+                }
+            })
+        });
+        let peak = take_queue_depth_peak();
+        assert_eq!(peak, 9, "deepest backlog across all jobs");
+        note_queue_depth(stash);
+    }
+
+    #[test]
+    fn queue_depth_peak_take_resets() {
+        let stash = take_queue_depth_peak();
+        note_queue_depth(42);
+        assert!(take_queue_depth_peak() >= 42);
+        assert_eq!(take_queue_depth_peak(), 0, "take must reset the mark");
+        note_queue_depth(stash);
     }
 }

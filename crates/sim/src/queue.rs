@@ -21,6 +21,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
+    peak_len: usize,
 }
 
 #[derive(Debug)]
@@ -64,6 +65,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
+            peak_len: 0,
         }
     }
 
@@ -76,6 +78,7 @@ impl<E> EventQueue<E> {
         self.next_seq = 0;
         self.now = SimTime::ZERO;
         self.scheduled_total = 0;
+        self.peak_len = 0;
     }
 
     /// Events the queue can hold without reallocating (reuse tests).
@@ -105,6 +108,10 @@ impl<E> EventQueue<E> {
         self.scheduled_total += 1;
         crate::par::record_scheduled_event();
         self.heap.push(Reverse(Entry { at, seq, event }));
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+            crate::par::note_queue_depth(self.peak_len as u64);
+        }
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -133,6 +140,13 @@ impl<E> EventQueue<E> {
     /// for run reports and runaway detection in tests).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// The deepest pending-event backlog this queue has reached since
+    /// construction (or the last [`EventQueue::clear`]) — the memory
+    /// high-water mark of the run.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -231,6 +245,21 @@ mod tests {
         q.schedule(t(5), 2u64);
         assert_eq!(q.pop(), Some((t(5), 1)));
         assert_eq!(q.pop(), Some((t(5), 2)));
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(i + 1), ());
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        q.schedule(t(100), ());
+        assert_eq!(q.peak_len(), 10, "peak survives draining");
+        q.clear();
+        assert_eq!(q.peak_len(), 0, "clear resets the mark");
     }
 
     #[test]

@@ -193,6 +193,90 @@ impl Histogram {
     pub fn p99(&mut self) -> Option<u64> {
         self.quantile(0.99)
     }
+
+    /// Absorb all of `other`'s samples (multiset union; order-insensitive
+    /// for every statistic this type exposes). Used to fold per-job
+    /// histograms back into an aggregate.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// An immutable percentile snapshot: sorts a copy of the samples
+    /// once, after which every query (including quantiles) is `&self`.
+    /// Use this in read paths where `quantile(&mut self)`'s lazy internal
+    /// sort would force a clone of the whole histogram.
+    pub fn percentiles(&self) -> Percentiles {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let sum = sorted.iter().map(|&v| v as u128).sum();
+        Percentiles { sorted, sum }
+    }
+}
+
+/// An immutable, pre-sorted view of a [`Histogram`]'s samples.
+///
+/// Built once via [`Histogram::percentiles`]; all queries take `&self`,
+/// so a snapshot can serve many readers (or sit in a report struct)
+/// without mutation or re-sorting.
+#[derive(Debug, Clone)]
+pub struct Percentiles {
+    sorted: Vec<u64>,
+    sum: u128,
+}
+
+impl Percentiles {
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Sum of all samples (u128: immune to overflow at any sample count).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(self.sum as f64 / self.sorted.len() as f64)
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        self.sorted.last().copied()
+    }
+
+    /// The `q`-quantile (`q` in `[0,1]`), nearest-rank — same convention
+    /// as [`Histogram::quantile`]; `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
 }
 
 /// A `(time, value)` sample series for plotted curves.
@@ -338,6 +422,52 @@ mod tests {
         assert_eq!(h.p50(), None);
         assert_eq!(h.mean(), None);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn percentiles_snapshot_matches_mutating_quantile() {
+        let mut h = Histogram::new();
+        for v in [9u64, 1, 7, 3, 5, 100, 2, 8, 6, 4] {
+            h.record(v);
+        }
+        let p = h.percentiles(); // &self: h stays unsorted
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(p.quantile(q), h.quantile(q), "q={q}");
+        }
+        assert_eq!(p.count(), h.count());
+        assert_eq!(p.min(), h.min());
+        assert_eq!(p.max(), h.max());
+        assert_eq!(p.sum(), 145);
+        assert!((p.mean().unwrap() - h.mean().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let p = Histogram::new().percentiles();
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.p50(), None);
+        assert_eq!(p.mean(), None);
+        assert_eq!(p.min(), None);
+        assert_eq!(p.sum(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_multiset_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 3, 5] {
+            a.record(v);
+        }
+        for v in [2u64, 4] {
+            b.record(v);
+        }
+        a.merge(&b);
+        a.merge(&Histogram::new()); // no-op
+        let p = a.percentiles();
+        assert_eq!(p.count(), 5);
+        assert_eq!(p.min(), Some(1));
+        assert_eq!(p.max(), Some(5));
+        assert_eq!(p.sum(), 15);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! The flight recorder: a bounded ring of sim-time-stamped events.
+
+use std::collections::VecDeque;
+
+use stellar_sim::SimTime;
+
+use crate::{Entity, Subsystem};
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sim-time stamp (absolute for event-loop subsystems,
+    /// operation-relative for synchronous latency models — never wall
+    /// clock).
+    pub at: SimTime,
+    /// Which subsystem recorded it.
+    pub subsystem: Subsystem,
+    /// What it is about.
+    pub entity: Entity,
+    /// Event kind, a static tag from the taxonomy in DESIGN.md §6.
+    pub kind: &'static str,
+    /// Kind-specific payload (bytes, attempt number, …).
+    pub value: u64,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s that keeps the *most recent*
+/// `capacity` events — the flight-recorder shape: when something goes
+/// wrong, the tail of the story is the part worth keeping.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+    high_water: usize,
+}
+
+impl FlightRecorder {
+    /// An empty recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: VecDeque::new(),
+            capacity,
+            recorded: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.recorded += 1;
+        self.push_bounded(ev);
+    }
+
+    fn push_bounded(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev);
+        if self.ring.len() > self.high_water {
+            self.high_water = self.ring.len();
+        }
+    }
+
+    /// Fold a child recorder in: its retained events append in order
+    /// (re-bounded by this ring's capacity) and its totals accumulate.
+    /// Deterministic given a deterministic fold order.
+    pub fn merge(&mut self, other: FlightRecorder) {
+        self.recorded += other.recorded;
+        let child_high = other.high_water;
+        for ev in other.ring {
+            self.push_bounded(ev);
+        }
+        // Report the deepest ring anywhere in the tree — the honest
+        // memory high-water of the capture.
+        self.high_water = self.high_water.max(child_high);
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted (recorded minus retained).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+
+    /// Deepest the ring (or any folded child ring) has been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Iterate retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(ns),
+            subsystem: Subsystem::Net,
+            entity: Entity::Link(0),
+            kind: "drop",
+            value: ns,
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_when_full() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(ev(i));
+        }
+        let kept: Vec<u64> = r.events().map(|e| e.value).collect();
+        assert_eq!(kept, [2, 3, 4]);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.high_water(), 3);
+    }
+
+    #[test]
+    fn merge_appends_and_rebounds() {
+        let mut a = FlightRecorder::new(4);
+        a.record(ev(0));
+        a.record(ev(1));
+        let mut b = FlightRecorder::new(4);
+        for i in 10..13 {
+            b.record(ev(i));
+        }
+        a.merge(b);
+        let kept: Vec<u64> = a.events().map(|e| e.value).collect();
+        assert_eq!(kept, [1, 10, 11, 12], "oldest evicted, order preserved");
+        assert_eq!(a.recorded(), 5);
+        assert_eq!(a.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_retains_nothing() {
+        let mut r = FlightRecorder::new(0);
+        r.record(ev(1));
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.recorded(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.high_water(), 0);
+    }
+}

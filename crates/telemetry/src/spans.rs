@@ -1,0 +1,159 @@
+//! Span-based latency attribution: open/close pairs keyed by
+//! `(stage, id)` feeding per-stage histograms.
+
+use std::collections::BTreeMap;
+
+use stellar_sim::stats::Histogram;
+use stellar_sim::{SimDuration, SimTime};
+
+use crate::Stage;
+
+/// Tracks open spans and accumulates closed-span durations (plus direct
+/// duration samples) into one [`Histogram`] per [`Stage`].
+#[derive(Debug, Clone)]
+pub struct SpanTracker {
+    /// Open spans: `(stage index, caller key) → open time`. A `BTreeMap`
+    /// so iteration (and therefore any rendered output) is deterministic.
+    open: BTreeMap<(usize, u64), SimTime>,
+    stages: Vec<Histogram>,
+    unmatched_closes: u64,
+    leaked: u64,
+}
+
+impl SpanTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        SpanTracker {
+            open: BTreeMap::new(),
+            stages: vec![Histogram::new(); Stage::ALL.len()],
+            unmatched_closes: 0,
+            leaked: 0,
+        }
+    }
+
+    /// Open a span. Re-opening a live `(stage, key)` replaces the earlier
+    /// open and counts it as leaked — it can no longer be closed.
+    pub fn open(&mut self, stage: Stage, key: u64, at: SimTime) {
+        if self.open.insert((stage.index(), key), at).is_some() {
+            self.leaked += 1;
+        }
+    }
+
+    /// Close a span, attributing `at - open_time` to the stage. A close
+    /// with no matching open is counted, never a panic.
+    pub fn close(&mut self, stage: Stage, key: u64, at: SimTime) {
+        match self.open.remove(&(stage.index(), key)) {
+            Some(opened) => {
+                self.stages[stage.index()].record_duration(at.saturating_duration_since(opened));
+            }
+            None => self.unmatched_closes += 1,
+        }
+    }
+
+    /// Attribute a directly measured duration to `stage` (for
+    /// synchronous code with no open/close structure).
+    pub fn sample(&mut self, stage: Stage, d: SimDuration) {
+        self.stages[stage.index()].record_duration(d);
+    }
+
+    /// The accumulated histogram for `stage`.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Number of spans currently open.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Closes that had no matching open.
+    pub fn unmatched_closes(&self) -> u64 {
+        self.unmatched_closes
+    }
+
+    /// Spans that can never close: re-opened keys plus spans left open by
+    /// folded child jobs (span keys are job-local, so an open span never
+    /// migrates across a job boundary).
+    pub fn leaked(&self) -> u64 {
+        self.leaked
+    }
+
+    /// Fold a child job's tracker in: histograms take the multiset union
+    /// (order-insensitive), anomaly counters add, and the child's still
+    /// open spans become leaks — they are keyed in the child's id space
+    /// and must not collide with the parent's.
+    pub fn merge(&mut self, other: SpanTracker) {
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            mine.merge(theirs);
+        }
+        self.unmatched_closes += other.unmatched_closes;
+        self.leaked += other.leaked + other.open.len() as u64;
+    }
+}
+
+impl Default for SpanTracker {
+    fn default() -> Self {
+        SpanTracker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn open_close_attributes_elapsed() {
+        let mut s = SpanTracker::new();
+        s.open(Stage::TransportMsg, 1, t(100));
+        s.open(Stage::TransportMsg, 2, t(150));
+        s.close(Stage::TransportMsg, 1, t(300));
+        s.close(Stage::TransportMsg, 2, t(250));
+        let p = s.stage(Stage::TransportMsg).percentiles();
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.min(), Some(100));
+        assert_eq!(p.max(), Some(200));
+        assert_eq!(s.open_count(), 0);
+    }
+
+    #[test]
+    fn same_key_different_stages_do_not_collide() {
+        let mut s = SpanTracker::new();
+        s.open(Stage::TransportMsg, 7, t(0));
+        s.open(Stage::FabricQueueing, 7, t(10));
+        s.close(Stage::FabricQueueing, 7, t(15));
+        assert_eq!(s.open_count(), 1);
+        assert_eq!(s.stage(Stage::FabricQueueing).count(), 1);
+        assert_eq!(s.stage(Stage::TransportMsg).count(), 0);
+    }
+
+    #[test]
+    fn unmatched_close_and_reopen_are_counted() {
+        let mut s = SpanTracker::new();
+        s.close(Stage::TransportRtt, 9, t(5));
+        assert_eq!(s.unmatched_closes(), 1);
+        s.open(Stage::TransportRtt, 9, t(10));
+        s.open(Stage::TransportRtt, 9, t(20)); // replaces → leak
+        assert_eq!(s.leaked(), 1);
+        s.close(Stage::TransportRtt, 9, t(30));
+        assert_eq!(s.stage(Stage::TransportRtt).percentiles().max(), Some(10));
+    }
+
+    #[test]
+    fn merge_leaks_child_open_spans() {
+        let mut parent = SpanTracker::new();
+        parent.open(Stage::TransportMsg, 1, t(0));
+        let mut child = SpanTracker::new();
+        child.open(Stage::TransportMsg, 1, t(50)); // same key, other job
+        child.sample(Stage::AtcHit, SimDuration::from_nanos(3));
+        parent.merge(child);
+        assert_eq!(parent.leaked(), 1, "child's open span leaks");
+        assert_eq!(parent.open_count(), 1, "parent's own span survives");
+        parent.close(Stage::TransportMsg, 1, t(100));
+        assert_eq!(parent.stage(Stage::TransportMsg).percentiles().max(), Some(100));
+        assert_eq!(parent.stage(Stage::AtcHit).count(), 1);
+    }
+}

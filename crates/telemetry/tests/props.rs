@@ -1,0 +1,166 @@
+//! Property suite for the telemetry crate.
+//!
+//! The span tracker's bookkeeping invariant — every open is eventually
+//! matched, leaked, or still open, and the three buckets partition the
+//! opens exactly — is checked against a brute-force model over random
+//! operation sequences. A second property pins the determinism
+//! contract: folding per-job telemetry through the work pool yields the
+//! same rendered JSON at every worker count.
+
+use std::collections::HashMap;
+
+use stellar_sim::par::{par_map, with_thread_override};
+use stellar_sim::proptest_lite::check;
+use stellar_sim::SimTime;
+use stellar_telemetry::{
+    capture, count, event, span_close, span_open, stage_sample, Entity, Stage, Subsystem,
+    Telemetry, TelemetryConfig,
+};
+
+/// Random open/close interleavings: the tracker's `open_count`,
+/// `leaked`, `unmatched_closes` and per-stage histogram counts must
+/// agree with a naive replay of the same sequence.
+#[test]
+fn span_accounting_partitions_every_operation() {
+    check("span_accounting_partitions_every_operation", 128, |g| {
+        let stages = [Stage::TransportMsg, Stage::DoorbellDmaFetch, Stage::AtsWalk];
+        let ops: Vec<(bool, usize, u64, u64)> = g.vec(0, 60, |g| {
+            (
+                g.bool(),                  // open or close
+                g.usize(0, 3),             // stage index
+                g.u64(0, 6),               // key (small range to force collisions)
+                g.u64(0, 1_000_000),       // timestamp
+            )
+        });
+
+        // Model: live opens per (stage, key), plus the three counters.
+        let mut live: HashMap<(usize, u64), u64> = HashMap::new();
+        let mut closes_per_stage = [0u64; 3];
+        let mut leaked = 0u64;
+        let mut unmatched = 0u64;
+
+        let ((), tel) = capture(TelemetryConfig::default(), || {
+            for &(is_open, si, key, t) in &ops {
+                let at = SimTime::from_nanos(t);
+                if is_open {
+                    span_open(at, stages[si], key);
+                    if live.insert((si, key), t).is_some() {
+                        leaked += 1; // re-open of a live span
+                    }
+                } else {
+                    span_close(at, stages[si], key);
+                    if live.remove(&(si, key)).is_some() {
+                        closes_per_stage[si] += 1;
+                    } else {
+                        unmatched += 1;
+                    }
+                }
+            }
+        });
+
+        assert_eq!(tel.spans.open_count(), live.len());
+        assert_eq!(tel.spans.leaked(), leaked);
+        assert_eq!(tel.spans.unmatched_closes(), unmatched);
+        for (si, &stage) in stages.iter().enumerate() {
+            assert_eq!(
+                tel.spans.stage(stage).count() as u64,
+                closes_per_stage[si],
+                "stage {} close count",
+                stage.name()
+            );
+        }
+    });
+}
+
+/// A balanced workload — every open later closed exactly once — leaves
+/// nothing open, leaked, or unmatched, and the histogram holds every
+/// span with its exact duration.
+#[test]
+fn balanced_spans_close_cleanly() {
+    check("balanced_spans_close_cleanly", 64, |g| {
+        let n = g.usize(1, 40);
+        let durations: Vec<u64> = (0..n as u64).map(|i| g.u64(1, 10_000) + i).collect();
+        let ((), tel) = capture(TelemetryConfig::default(), || {
+            for (i, &d) in durations.iter().enumerate() {
+                span_open(SimTime::from_nanos(100), Stage::TransportRtt, i as u64);
+                span_close(SimTime::from_nanos(100 + d), Stage::TransportRtt, i as u64);
+            }
+        });
+        assert_eq!(tel.spans.open_count(), 0);
+        assert_eq!(tel.spans.leaked(), 0);
+        assert_eq!(tel.spans.unmatched_closes(), 0);
+        let p = tel.spans.stage(Stage::TransportRtt).percentiles();
+        assert_eq!(p.count(), n);
+        assert_eq!(p.sum(), durations.iter().map(|&d| u128::from(d)).sum());
+    });
+}
+
+/// Determinism contract: the fully rendered trace document of a
+/// fan-out workload is byte-identical at 1, 2 and 8 workers — per-job
+/// recorders fold in job order, never completion order.
+#[test]
+fn trace_json_is_worker_count_invariant() {
+    check("trace_json_is_worker_count_invariant", 16, |g| {
+        let jobs = g.usize(1, 12);
+        let events_per_job = g.u64(1, 30);
+        let ring = g.usize(1, 64);
+        let render = || -> String {
+            let ((), tel) = capture(
+                TelemetryConfig {
+                    ring_capacity: ring,
+                    ..TelemetryConfig::default()
+                },
+                || {
+                    let idx: Vec<u64> = (0..jobs as u64).collect();
+                    par_map(&idx, |&j| {
+                        for e in 0..events_per_job {
+                            let t = SimTime::from_nanos(j * 1_000 + e);
+                            event(t, Subsystem::Net, Entity::Link(j as u32), "probe", e);
+                            count(Subsystem::Net, "probe", 1);
+                            stage_sample(
+                                Stage::FabricQueueing,
+                                stellar_sim::SimDuration::from_nanos(e + 1),
+                            );
+                        }
+                    });
+                },
+            );
+            tel.to_json("prop")
+        };
+        let one = with_thread_override(1, render);
+        let two = with_thread_override(2, render);
+        let eight = with_thread_override(8, render);
+        assert_eq!(one, two, "trace differs between 1 and 2 workers");
+        assert_eq!(one, eight, "trace differs between 1 and 8 workers");
+    });
+}
+
+/// Merging child telemetry never invents or loses counter increments:
+/// the merged hub total is the sum of the parts.
+#[test]
+fn hub_merge_is_additive() {
+    check("hub_merge_is_additive", 64, |g| {
+        let names = ["a", "b", "c"];
+        let mut parent = Telemetry::new(TelemetryConfig::default());
+        let mut expected: HashMap<&'static str, u64> = HashMap::new();
+        for _ in 0..g.usize(0, 6) {
+            let ((), child) = capture(TelemetryConfig::default(), || {
+                // counts recorded inside the child capture
+            });
+            let mut child = child;
+            for _ in 0..g.usize(0, 10) {
+                let name = *g.pick(&names);
+                let v = g.u64(1, 100);
+                child.hub.add(Subsystem::Virt, name, v);
+                *expected.entry(name).or_default() += v;
+            }
+            parent.merge(child);
+        }
+        for name in names {
+            assert_eq!(
+                parent.hub.get(Subsystem::Virt, name),
+                expected.get(name).copied().unwrap_or(0)
+            );
+        }
+    });
+}

@@ -319,6 +319,7 @@ impl Connection {
     ) -> Result<MsgId, SendError> {
         let Some(posted) = self.recv_queue.pop_front() else {
             self.stats.rnr_naks += 1;
+            stellar_telemetry::count(stellar_telemetry::Subsystem::Transport, "rnr_nak", 1);
             return Err(SendError::ReceiverNotReady);
         };
         if posted < bytes {

@@ -431,6 +431,18 @@ impl PathSelector {
         st.consecutive_losses += 1;
         if st.consecutive_losses >= self.scoreboard.blacklist_after {
             st.blacklisted_until = now + self.scoreboard.penalty;
+            stellar_telemetry::count(
+                stellar_telemetry::Subsystem::Transport,
+                "scoreboard.blacklist",
+                1,
+            );
+            stellar_telemetry::event(
+                now,
+                stellar_telemetry::Subsystem::Transport,
+                stellar_telemetry::Entity::Path(path),
+                "blacklist",
+                u64::from(st.consecutive_losses),
+            );
             if st.blacklisted_until > self.max_blacklist_until {
                 self.max_blacklist_until = st.blacklisted_until;
             }

@@ -9,12 +9,20 @@
 
 use stellar_net::{Delivery, Network, NicId};
 use stellar_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use stellar_telemetry::{count, event, span_close, span_open, stage_sample, Entity, Stage, Subsystem};
 
 use crate::cc::{CcConfig, CongestionControl};
 use crate::conn::{
     ConnId, ConnState, ConnStats, Connection, FatalError, InflightPacket, MsgId, SendError,
 };
 use crate::path::{PathAlgo, PathSelector};
+
+/// Span key for the whole-message latency stage: connection id in the
+/// high bits, per-connection message id below. Message ids are
+/// per-connection sequence numbers, far below 2^40 in any run.
+fn msg_span_key(conn: ConnId, msg: MsgId) -> u64 {
+    (u64::from(conn.0) << 40) | msg.0
+}
 
 /// Transport parameters (§7.2's three key knobs plus the CC profile).
 #[derive(Debug, Clone)]
@@ -237,6 +245,8 @@ impl TransportSim {
         let id = self.conns[conn.0 as usize]
             .conn
             .post_message(now, bytes, mtu);
+        count(Subsystem::Transport, "msg.posted", 1);
+        span_open(now, Stage::TransportMsg, msg_span_key(conn, id));
         self.pump(conn);
         id
     }
@@ -346,10 +356,13 @@ impl TransportSim {
     /// traffic (stale Deliver/Ack/Rto events become no-ops) and queue the
     /// [`App::on_connection_error`] callback.
     fn fail_connection(&mut self, conn_id: ConnId, error: FatalError) {
+        let now = self.now();
         let rt = &mut self.conns[conn_id.0 as usize];
         if rt.conn.state == ConnState::Error {
             return;
         }
+        count(Subsystem::Transport, "conn.fatal", 1);
+        event(now, Subsystem::Transport, Entity::Conn(conn_id.0), "fatal", 0);
         rt.conn.state = ConnState::Error;
         rt.conn.fatal = Some(error);
         rt.conn.unsent.clear();
@@ -434,6 +447,7 @@ impl TransportSim {
             );
             rt.conn.inflight_bytes += pkt.bytes;
             rt.conn.stats.sent_packets += 1;
+            count(Subsystem::Transport, "packet.sent", 1);
             if let Some(rate) = pace {
                 let start = if rt.pace_until > now { rt.pace_until } else { now };
                 rt.pace_until = start + stellar_sim::transmit_time(pkt.bytes, rate);
@@ -482,6 +496,8 @@ impl TransportSim {
             if msg.fully_received() && msg.completed_at.is_none() {
                 msg.completed_at = Some(now);
                 rt.conn.stats.completed_messages += 1;
+                count(Subsystem::Transport, "msg.completed", 1);
+                span_close(now, Stage::TransportMsg, msg_span_key(conn_id, pkt.msg));
                 self.completions.push((conn_id, pkt.msg));
             }
         }
@@ -511,6 +527,8 @@ impl TransportSim {
             bytes = pkt.bytes;
             rtt = now.saturating_duration_since(pkt.sent_at);
             rt.conn.stats.acks += 1;
+            count(Subsystem::Transport, "ack", 1);
+            stage_sample(Stage::TransportRtt, rtt);
             if ecn {
                 rt.conn.stats.ecn_acks += 1;
             }
@@ -552,6 +570,8 @@ impl TransportSim {
             src = rt.conn.src;
             dst = rt.conn.dst;
             rt.conn.stats.rto_events += 1;
+            count(Subsystem::Transport, "rto", 1);
+            event(now, Subsystem::Transport, Entity::Conn(conn_id.0), "rto", u64::from(epoch));
             // Feed the loss scoreboard: repeated losses blacklist the path.
             rt.selector.on_loss_at(now, old_path);
             // Retransmit on a different path for instant recovery.
@@ -564,6 +584,7 @@ impl TransportSim {
             pkt.sent_at = now;
             pkt.path = new_path;
             rt.conn.stats.retransmits += 1;
+            count(Subsystem::Transport, "retransmit", 1);
         }
         let cc_idx = self.cc_index(conn_id, old_path);
         let share = if self.config.per_path_cc {
@@ -937,11 +958,11 @@ mod tests {
         sim.run(&mut NoopApp, FOREVER);
         sim.post_message(conn, 8 * 1024 * 1024);
         sim.run(&mut NoopApp, FOREVER);
-        let mut h = sim.message_latency_histogram(conn);
-        assert_eq!(h.count(), 5);
+        let p = sim.message_latency_histogram(conn).percentiles();
+        assert_eq!(p.count(), 5);
         // The big message is the tail.
-        let p50 = h.p50().unwrap();
-        let max = h.max().unwrap();
+        let p50 = p.p50().unwrap();
+        let max = p.max().unwrap();
         assert!(max > p50 * 10, "p50={p50} max={max}");
     }
 
@@ -1152,5 +1173,61 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// The telemetry hub is a mirror, not a second bookkeeper: every
+    /// counter it holds must equal the native statistic recorded at the
+    /// same site — no double counting, no missed site. Runs a lossy
+    /// transfer so drops, RTOs and retransmissions all fire.
+    #[test]
+    fn telemetry_hub_matches_native_statistics() {
+        use stellar_net::DropReason;
+        use stellar_telemetry::{capture, Subsystem, TelemetryConfig};
+
+        let ((stats, drops), tel) = capture(TelemetryConfig::default(), || {
+            let mut sim = make_sim(PathAlgo::Obs, 128, 4);
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(4, 0);
+            let link = sim.network().topology().route(src, dst, 0, 0)[1];
+            sim.network_mut().set_loss(link, 0.02);
+            let conn = sim.add_connection(src, dst);
+            sim.post_message(conn, 16 * 1024 * 1024);
+            sim.run(&mut NoopApp, FOREVER);
+            let drops: Vec<(&'static str, u64)> = DropReason::ALL
+                .iter()
+                .map(|&r| (r.name(), sim.network().drops_by_reason(r)))
+                .collect();
+            (sim.total_stats(), drops)
+        });
+
+        let hub = &tel.hub;
+        assert_eq!(hub.get(Subsystem::Transport, "packet.sent"), stats.sent_packets);
+        assert_eq!(hub.get(Subsystem::Transport, "retransmit"), stats.retransmits);
+        assert_eq!(hub.get(Subsystem::Transport, "rto"), stats.rto_events);
+        assert_eq!(hub.get(Subsystem::Transport, "ack"), stats.acks);
+        assert_eq!(
+            hub.get(Subsystem::Transport, "msg.completed"),
+            stats.completed_messages
+        );
+        assert_eq!(hub.get(Subsystem::Transport, "rnr_nak"), stats.rnr_naks);
+        // The lossy link must actually have dropped something for the
+        // per-reason check to be meaningful.
+        let total_drops: u64 = drops.iter().map(|&(_, n)| n).sum();
+        assert!(total_drops > 0, "loss injection produced no drops");
+        for (name, n) in drops {
+            assert_eq!(
+                hub.get(Subsystem::Net, &format!("drop.{name}")),
+                n,
+                "fabric drop counter '{name}' disagrees with the hub"
+            );
+        }
+        // Every posted message completed, so every TransportMsg span
+        // closed: the stage histogram holds exactly the completions.
+        assert_eq!(tel.spans.open_count(), 0);
+        assert_eq!(tel.spans.leaked(), 0);
+        assert_eq!(
+            tel.spans.stage(stellar_telemetry::Stage::TransportMsg).count() as u64,
+            stats.completed_messages
+        );
     }
 }

@@ -24,6 +24,7 @@
 use stellar_pcie::addr::{Address, Gpa, Hpa, Iova, PAGE_2M, PAGE_4K};
 use stellar_pcie::iommu::{Iommu, IommuError};
 use stellar_sim::SimDuration;
+use stellar_telemetry::{count, Subsystem};
 
 use crate::hypervisor::Hypervisor;
 
@@ -160,11 +161,13 @@ impl Pvdma {
             blocks_hit: 0,
         };
 
+        count(Subsystem::Virt, "pvdma.prepare", 1);
         let mut block = first;
         loop {
             if self.map_cache.contains_key(&block) {
                 self.hits += 1;
                 outcome.blocks_hit += 1;
+                count(Subsystem::Virt, "pvdma.blocks_hit", 1);
             } else {
                 self.misses += 1;
                 // Collect the block's current guest translations at 4 KiB
@@ -183,6 +186,7 @@ impl Pvdma {
                 let pin_cost = iommu.pin_pages(&pages)?;
                 outcome.latency += pin_cost;
                 outcome.blocks_pinned += 1;
+                count(Subsystem::Virt, "pvdma.blocks_pinned", 1);
                 self.map_cache.insert(block, pages.len() as u64);
             }
             if block == last {

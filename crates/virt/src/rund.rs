@@ -89,10 +89,16 @@ impl RundContainer {
         hypervisor.add_ram(Gpa(0), hpa_base, config.memory_bytes);
 
         let hypervisor_setup = hypervisor.base_boot_time();
+        stellar_telemetry::count(stellar_telemetry::Subsystem::Virt, "rund.boot", 1);
         let (memory_pin, pvdma) = match config.strategy {
             MemoryStrategy::FullPin => {
                 let mut vfio = Vfio::new();
                 let pin = vfio.pin_all_memory(&hypervisor, iommu)?;
+                stellar_telemetry::count(
+                    stellar_telemetry::Subsystem::Virt,
+                    "rund.full_pin_boot",
+                    1,
+                );
                 (pin, None)
             }
             MemoryStrategy::Pvdma => (

@@ -113,11 +113,12 @@ pub fn run_incast(config: &IncastConfig) -> IncastReport {
 
     let mut lat = stellar_sim::stats::Histogram::new();
     for &(c, _) in &msgs {
-        let mut h = sim.message_latency_histogram(c);
-        if let Some(v) = h.quantile(1.0) {
+        let p = sim.message_latency_histogram(c).percentiles();
+        if let Some(v) = p.max() {
             lat.record(v);
         }
     }
+    let lat = lat.percentiles();
 
     IncastReport {
         first_done: first,

@@ -37,9 +37,26 @@ if [ "$one" != "$many" ]; then
     exit 1
 fi
 
+# Trace gate: --trace must produce a well-formed TRACE_<exp>.json whose
+# bytes are identical between one worker and eight — the telemetry fold
+# is job-ordered, so the flight-recorder window, span histograms and
+# counters may not depend on scheduling (see DESIGN.md §6).
+trace_dir="$(mktemp -d)"
+(cd "$trace_dir" && STELLAR_THREADS=1 "$OLDPWD"/target/release/reproduce fig11 --quick --trace >/dev/null)
+mv "$trace_dir/TRACE_fig11.json" "$trace_dir/TRACE_fig11.one.json"
+(cd "$trace_dir" && STELLAR_THREADS=8 "$OLDPWD"/target/release/reproduce fig11 --quick --trace >/dev/null)
+if ! cmp -s "$trace_dir/TRACE_fig11.one.json" "$trace_dir/TRACE_fig11.json"; then
+    echo "trace gate: TRACE_fig11.json differs between 1 and 8 workers" >&2
+    diff "$trace_dir/TRACE_fig11.one.json" "$trace_dir/TRACE_fig11.json" >&2 || true
+    rm -rf "$trace_dir"
+    exit 1
+fi
+rm -rf "$trace_dir"
+
 # Perf harness: archive the wall-clock/event report for this build. The
 # run doubles as a third determinism pass (--perf re-runs everything on
-# one worker and fails if any output byte differs).
+# one worker and fails if any output byte differs, trace documents
+# included).
 cargo run --release --offline -p stellar-bench --bin reproduce -- all --quick --perf >/dev/null
 echo "archived BENCH_reproduce.json:"
 cat BENCH_reproduce.json
