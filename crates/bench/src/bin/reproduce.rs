@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [<experiment>] [--quick] [--json] [--perf] [--trace] [--list]
+//! reproduce [<experiment>] [--quick] [--json] [--perf] [--trace] [--check] [--list]
 //!   experiments: fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 //!                fig16 table1 claims timeline chaos all
 //! ```
@@ -14,7 +14,11 @@
 //! directory; `--trace` runs each experiment under the
 //! `stellar-telemetry` flight recorder and writes one
 //! `TRACE_<experiment>.json` per selected experiment (stage latency
-//! breakdowns, per-subsystem counters, and the tail of the event ring).
+//! breakdowns, per-subsystem counters, and the tail of the event ring);
+//! `--check` runs the selected experiments under the `stellar-check`
+//! cross-layer invariant engine: stdout is byte-identical to an
+//! unchecked run, a sim-time-stamped violation report goes to stderr,
+//! and the exit code is 1 if any invariant was violated.
 //!
 //! Experiments run on the deterministic work pool (`stellar_sim::par`):
 //! `STELLAR_THREADS` caps the worker count, and the printed bytes —
@@ -87,6 +91,7 @@ struct Args {
     json: bool,
     perf: bool,
     trace: bool,
+    check: bool,
     list: bool,
     which: String,
 }
@@ -99,6 +104,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
         json: false,
         perf: false,
         trace: false,
+        check: false,
         list: false,
         which: String::new(),
     };
@@ -108,10 +114,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--json" => parsed.json = true,
             "--perf" => parsed.perf = true,
             "--trace" => parsed.trace = true,
+            "--check" => parsed.check = true,
             "--list" => parsed.list = true,
             flag if flag.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag '{flag}'; expected --quick, --json, --perf, --trace or --list"
+                    "unknown flag '{flag}'; expected --quick, --json, --perf, \
+                     --trace, --check or --list"
                 ));
             }
             name if parsed.which.is_empty() => parsed.which = name.to_string(),
@@ -293,10 +301,31 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let (outputs, perf, traces) = run_selected(&selected, args.quick, args.json, args.trace);
+    // With `--check` the same pass runs under an open stellar-check
+    // capture scope: every quiesce point in every layer evaluates its
+    // invariants, stdout stays byte-identical to an unchecked run, and
+    // the violation report (sim-time-stamped, sorted) goes to stderr.
+    let (run, check_report) = if args.check {
+        let (run, report) =
+            stellar_check::capture(|| run_selected(&selected, args.quick, args.json, args.trace));
+        (run, Some(report))
+    } else {
+        (
+            run_selected(&selected, args.quick, args.json, args.trace),
+            None,
+        )
+    };
+    let (outputs, perf, traces) = run;
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
     for out in &outputs {
         print!("{out}");
+    }
+
+    if let Some(report) = &check_report {
+        eprint!("check: {}", report.render());
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
     }
 
     if args.trace {
@@ -355,20 +384,23 @@ mod tests {
     fn defaults_to_all() {
         let args = parse(&[]).unwrap();
         assert_eq!(args.which, "all");
-        assert!(!args.quick && !args.json && !args.perf && !args.trace && !args.list);
+        assert!(
+            !args.quick && !args.json && !args.perf && !args.trace && !args.check && !args.list
+        );
     }
 
     #[test]
     fn accepts_known_flags_in_any_order() {
-        let args = parse(&["--json", "fig11", "--quick", "--perf", "--trace"]).unwrap();
+        let args = parse(&["--json", "fig11", "--quick", "--perf", "--trace", "--check"]).unwrap();
         assert_eq!(args.which, "fig11");
-        assert!(args.quick && args.json && args.perf && args.trace);
+        assert!(args.quick && args.json && args.perf && args.trace && args.check);
     }
 
     #[test]
     fn rejects_unknown_flags() {
         let err = parse(&["fig11", "--jsn"]).unwrap_err();
         assert!(err.contains("--jsn"), "{err}");
+        assert!(err.contains("--check"), "error must list --check: {err}");
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! The `reproduce --json` output must stay machine-readable: every
-//! experiment's rows serialize to valid JSON with the expected fields.
+//! experiment's rows serialize to valid JSON with the expected fields,
+//! and every row struct round-trips through the in-tree parser — the
+//! parsed document re-renders and re-parses to the identical `Value`
+//! tree, so nothing an experiment emits is outside what the parser
+//! understands.
 
 use stellar_bench as b;
 use stellar_sim::json::{self, ToJsonRow, Value};
@@ -11,6 +15,69 @@ fn to_json<T: ToJsonRow>(rows: &[T]) -> Vec<Value> {
         other => panic!("expected a JSON array, got {other:?}"),
     }
 }
+
+/// Render a parsed `Value` back to JSON text using the same in-tree
+/// string/number formatters the row builders use.
+fn render(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => json::number(*n),
+        Value::Str(s) => json::string(s),
+        Value::Arr(vals) => {
+            let inner: Vec<String> = vals.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json::string(k), render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// parse → render → parse is the identity on the `Value` domain: the
+/// in-tree writer emits nothing the in-tree parser loses or reshapes.
+/// (Byte-level identity is pinned separately by the golden corpus;
+/// integer-valued floats legitimately re-render as `1.0` vs `1`.)
+fn assert_roundtrip<T: ToJsonRow>(name: &str, rows: &[T]) {
+    assert!(!rows.is_empty(), "{name} must produce rows");
+    let first = json::parse(&json::rows_to_json(rows)).expect("valid JSON array");
+    let second = json::parse(&render(&first))
+        .unwrap_or_else(|e| panic!("{name} re-render must stay parseable: {e}"));
+    assert_eq!(first, second, "{name} rows must round-trip through parse/render");
+    assert_eq!(first.as_array().map(<[Value]>::len), Some(rows.len()));
+}
+
+/// Every experiment's row struct round-trips. One test per run keeps
+/// the expensive quick-mode runs on separate test threads.
+macro_rules! roundtrip_tests {
+    ($($test:ident => $module:ident),* $(,)?) => {
+        $(#[test]
+        fn $test() {
+            assert_roundtrip(stringify!($module), &b::$module::run(true));
+        })*
+    };
+}
+
+roundtrip_tests![
+    fig6_rows_roundtrip => fig06_startup,
+    fig8_rows_roundtrip => fig08_atc,
+    fig9_rows_roundtrip => fig09_permutation,
+    fig10_rows_roundtrip => fig10_background,
+    fig11_rows_roundtrip => fig11_failures,
+    fig12_rows_roundtrip => fig12_imbalance,
+    fig13_rows_roundtrip => fig13_micro,
+    fig14_rows_roundtrip => fig14_gdr,
+    fig15_rows_roundtrip => fig15_virt,
+    fig16_rows_roundtrip => fig16_llm,
+    table1_rows_roundtrip => table1_comm,
+    claims_rows_roundtrip => claims,
+    timeline_rows_roundtrip => timeline,
+    chaos_rows_roundtrip => chaos,
+];
 
 #[test]
 fn fig6_rows_serialize_with_fields() {

@@ -1,0 +1,18 @@
+//! Cross-layer strict gate: run representative quick experiments with
+//! the stellar-check invariant engine in strict mode, so any violated
+//! invariant — in any layer the experiment touches — fails `cargo test`
+//! with the full sim-time-stamped report.
+//!
+//! fig8 drives pcie + rnic (ATC, MTT, doorbells, DMA quiesce points);
+//! fig11 drives net + transport (conservation, retry budgets, idle
+//! quiescence) across every multipath algorithm.
+
+use stellar_bench as b;
+
+#[test]
+fn quick_experiments_hold_every_invariant_in_strict_mode() {
+    stellar_check::strict(|| {
+        b::fig08_atc::run(true);
+        b::fig11_failures::run(true);
+    });
+}

@@ -1,0 +1,54 @@
+//! Pinned smoke test for the perftest stack models (Fig. 13/14 inputs):
+//! exact latency and bandwidth values for every stack kind at a small
+//! and a large message size. The models are closed-form and
+//! deterministic, so these are golden values; a diff here means the
+//! stack timing model changed, intentionally or not.
+
+use stellar_core::{perftest_bandwidth, perftest_latency, StackKind};
+
+#[test]
+fn perftest_points_are_pinned_for_every_stack() {
+    let expect: &[(StackKind, u64, u64, f64)] = &[
+        (StackKind::BareMetal, 8, 3_025, 0.07087486157253599),
+        (StackKind::BareMetal, 1 << 20, 3_107, 370.1945278022948),
+        (StackKind::VStellar, 8, 3_025, 0.07087486157253599),
+        (StackKind::VStellar, 1 << 20, 3_107, 370.1945278022948),
+        (StackKind::VfVxlan, 8, 3_155, 0.06477732793522267),
+        (StackKind::VfVxlan, 1 << 20, 3_237, 323.40997763898525),
+        (StackKind::HyvMasq, 8, 3_765, 0.06903991370010787),
+        (StackKind::HyvMasq, 1 << 20, 3_983, 131.85488839987426),
+    ];
+    for &(kind, size, lat_ns, gbps) in expect {
+        assert_eq!(
+            perftest_latency(kind, size).as_nanos(),
+            lat_ns,
+            "{kind:?} @ {size} B latency"
+        );
+        assert_eq!(
+            perftest_bandwidth(kind, size),
+            gbps,
+            "{kind:?} @ {size} B bandwidth"
+        );
+    }
+}
+
+/// The paper's headline claim, pinned structurally rather than by value:
+/// vStellar (RunD + PVDMA) matches bare metal exactly, while the
+/// SR-IOV/VxLAN and para-virtualized baselines pay for every message.
+#[test]
+fn vstellar_is_bare_metal_and_baselines_are_not() {
+    for size in [8u64, 4096, 1 << 20] {
+        assert_eq!(
+            perftest_latency(StackKind::VStellar, size),
+            perftest_latency(StackKind::BareMetal, size)
+        );
+        assert!(
+            perftest_latency(StackKind::VfVxlan, size)
+                > perftest_latency(StackKind::BareMetal, size)
+        );
+        assert!(
+            perftest_latency(StackKind::HyvMasq, size)
+                > perftest_latency(StackKind::VfVxlan, size)
+        );
+    }
+}

@@ -120,6 +120,21 @@ impl FaultPlan {
         self.seed
     }
 
+    /// Rebuild a plan from an explicit event list — the scenario
+    /// shrinker's path back from a bisected event subset to an
+    /// installable plan. The events are taken as-is (they are still
+    /// stable-sorted by [`FaultPlan::into_events`] before execution), and
+    /// the seed is recorded for replay bookkeeping; randomized builders
+    /// called afterwards draw from a fresh stream seeded the same way as
+    /// [`FaultPlan::new`].
+    pub fn from_events(seed: u64, events: Vec<(SimTime, FaultEvent)>) -> Self {
+        FaultPlan {
+            seed,
+            rng: SimRng::from_seed(seed).fork("fault-plan"),
+            events,
+        }
+    }
+
     /// Schedule one event at `at`.
     pub fn at(mut self, at: SimTime, event: FaultEvent) -> Self {
         self.events.push((at, event));

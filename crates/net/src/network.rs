@@ -237,6 +237,14 @@ pub struct Network {
     plan_cursor: usize,
     /// Fabric-wide drop counters, indexed by [`DropReason::index`].
     drop_counts: [u64; 4],
+    /// Conservation ledger: every packet offered to [`Network::send`].
+    injected_packets: u64,
+    injected_bytes: u64,
+    /// Conservation ledger: packets that reached their destination NIC.
+    delivered_packets: u64,
+    delivered_bytes: u64,
+    /// Bytes of the packets counted in `drop_counts`.
+    dropped_bytes: u64,
 }
 
 impl Network {
@@ -267,6 +275,11 @@ impl Network {
             plan: Vec::new(),
             plan_cursor: 0,
             drop_counts: [0; 4],
+            injected_packets: 0,
+            injected_bytes: 0,
+            delivered_packets: 0,
+            delivered_bytes: 0,
+            dropped_bytes: 0,
         }
     }
 
@@ -394,6 +407,45 @@ impl Network {
         self.drop_counts[reason.index()]
     }
 
+    /// `(packets, bytes)` ever offered to [`Network::send`].
+    pub fn injected(&self) -> (u64, u64) {
+        (self.injected_packets, self.injected_bytes)
+    }
+
+    /// `(packets, bytes)` that reached their destination NIC.
+    pub fn delivered(&self) -> (u64, u64) {
+        (self.delivered_packets, self.delivered_bytes)
+    }
+
+    /// Evaluate the fabric's conservation invariants at a quiesce point
+    /// (`at` is the sim time stamped on any violation). One atomic load
+    /// and a branch when no `stellar_check` scope is open.
+    pub fn check_invariants(&self, at: SimTime) {
+        stellar_check::at_quiesce(at, stellar_check::Layer::Net, |c| {
+            let dropped: u64 = self.drop_counts.iter().sum();
+            c.check(
+                "net.packet_conservation",
+                self.injected_packets == self.delivered_packets + dropped,
+                || {
+                    format!(
+                        "injected {} != delivered {} + drops {} ({:?} by reason)",
+                        self.injected_packets, self.delivered_packets, dropped, self.drop_counts
+                    )
+                },
+            );
+            c.check(
+                "net.byte_conservation",
+                self.injected_bytes == self.delivered_bytes + self.dropped_bytes,
+                || {
+                    format!(
+                        "injected {} B != delivered {} B + dropped {} B",
+                        self.injected_bytes, self.delivered_bytes, self.dropped_bytes
+                    )
+                },
+            );
+        });
+    }
+
     /// Take a link down / bring it up. Call with the current time so the
     /// control plane's convergence clock starts (use
     /// [`Network::set_link_state_at`] when a timestamp is available).
@@ -438,14 +490,23 @@ impl Network {
         bytes: u64,
     ) -> Delivery {
         self.apply_faults(now);
+        self.injected_packets += 1;
+        self.injected_bytes += bytes;
         let delivery = self.forward(now, src, dst, flow, path_id, bytes);
-        if let Delivery::Dropped { reason, link, at } = delivery {
-            self.drop_counts[reason.index()] += 1;
-            // The hub mirrors the fabric's per-reason counters at this
-            // single site, so hub totals equal `drops_by_reason` exactly
-            // (no double-counting).
-            count(Subsystem::Net, reason.counter(), 1);
-            event(at, Subsystem::Net, Entity::Link(link.0), reason.name(), bytes);
+        match delivery {
+            Delivery::Delivered { .. } => {
+                self.delivered_packets += 1;
+                self.delivered_bytes += bytes;
+            }
+            Delivery::Dropped { reason, link, at } => {
+                self.drop_counts[reason.index()] += 1;
+                self.dropped_bytes += bytes;
+                // The hub mirrors the fabric's per-reason counters at this
+                // single site, so hub totals equal `drops_by_reason` exactly
+                // (no double-counting).
+                count(Subsystem::Net, reason.counter(), 1);
+                event(at, Subsystem::Net, Entity::Link(link.0), reason.name(), bytes);
+            }
         }
         if let Some((records, limit)) = &mut self.trace {
             if records.len() < *limit {
@@ -973,5 +1034,32 @@ mod tests {
         let nic = n.topology().nic(0, 0);
         let d = n.send(t(0), nic, nic, 1, 0, 4096);
         assert!(d.arrival().is_some());
+    }
+
+    #[test]
+    fn conservation_invariants_hold_under_loss_and_faults() {
+        // A run that exercises every outcome class — deliveries, random
+        // loss, dead-link drops, buffer overflows — must balance the
+        // injected/delivered/dropped ledgers exactly.
+        stellar_check::strict(|| {
+            let mut n = net();
+            let src = n.topology().nic(0, 0);
+            let dst = n.topology().nic(4, 0);
+            let lossy = n.topology().route(src, dst, 1, 0)[1];
+            n.set_loss(lossy, 0.3);
+            n.install_fault_plan(crate::FaultPlan::new(9).link_down(t(500), lossy));
+            for i in 0..400u64 {
+                n.send(t(i * 2), src, dst, 1, (i % 4) as u32, 4096);
+            }
+            n.check_invariants(t(800));
+            let (inj_p, inj_b) = n.injected();
+            let (del_p, del_b) = n.delivered();
+            assert_eq!(inj_p, 400);
+            assert_eq!(inj_b, 400 * 4096);
+            let drops: u64 = DropReason::ALL.iter().map(|&r| n.drops_by_reason(r)).sum();
+            assert!(drops > 0, "loss must have bitten");
+            assert_eq!(del_p + drops, inj_p);
+            assert!(del_b < inj_b);
+        });
     }
 }

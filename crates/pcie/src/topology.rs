@@ -201,6 +201,14 @@ pub struct Fabric {
     main_memory: Range<Hpa>,
     p2p_tlps: u64,
     rc_tlps: u64,
+    /// Completion-matching ledger: every TLP offered to [`Fabric::route`].
+    tlp_requests: u64,
+    /// TLPs that faulted (LUT/IOMMU/address errors) instead of completing.
+    tlp_faults: u64,
+    /// ACS tripwire: untranslated TLPs that were switched peer-to-peer.
+    /// Always zero on a correct fabric — only AT=translated may skip the
+    /// IOMMU (checked by `pcie.at_field_legality`).
+    untranslated_p2p: u64,
 }
 
 impl Fabric {
@@ -215,6 +223,9 @@ impl Fabric {
             main_memory,
             p2p_tlps: 0,
             rc_tlps: 0,
+            tlp_requests: 0,
+            tlp_faults: 0,
+            untranslated_p2p: 0,
         }
     }
 
@@ -320,6 +331,23 @@ impl Fabric {
     /// Route a TLP through the fabric, returning where it landed and what
     /// it cost.
     pub fn route(&mut self, tlp: Tlp) -> Result<RouteOutcome, FabricError> {
+        self.tlp_requests += 1;
+        let out = self.route_inner(tlp);
+        match &out {
+            Err(_) => self.tlp_faults += 1,
+            Ok(o) => {
+                // ACS tripwire for `pcie.at_field_legality`: an
+                // untranslated TLP switched peer-to-peer bypassed the
+                // IOMMU it legally must visit.
+                if o.path == RoutePath::PeerToPeer && tlp.at != AtField::Translated {
+                    self.untranslated_p2p += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn route_inner(&mut self, tlp: Tlp) -> Result<RouteOutcome, FabricError> {
         let source = self
             .devices
             .get(tlp.source.0 as usize)
@@ -356,10 +384,13 @@ impl Fabric {
                 })
             }
             AtField::Untranslated => {
-                // Switch forwards to the RC; IOMMU translates; RC routes on.
-                self.rc_tlps += 1;
+                // Switch forwards to the RC; IOMMU translates; RC routes
+                // on. The rc_tlps counter ticks only once the completion
+                // is assured — faulted TLPs land in `tlp_faults` instead,
+                // so requests == p2p + rc + faults stays balanced.
                 let t = self.iommu.translate(Iova(tlp.addr))?;
                 let target = self.claim_hpa(t.hpa)?;
+                self.rc_tlps += 1;
                 let down = match target {
                     RouteTarget::MainMemory(_) => self.config.rc_hop,
                     RouteTarget::Device(..) => self.config.rc_hop + self.config.switch_hop,
@@ -376,6 +407,39 @@ impl Fabric {
     /// `(p2p, via_rc)` TLP counters.
     pub fn tlp_counters(&self) -> (u64, u64) {
         (self.p2p_tlps, self.rc_tlps)
+    }
+
+    /// TLPs ever offered to [`Fabric::route`] (completions + faults).
+    pub fn tlp_requests(&self) -> u64 {
+        self.tlp_requests
+    }
+
+    /// TLPs that faulted instead of completing.
+    pub fn tlp_faults(&self) -> u64 {
+        self.tlp_faults
+    }
+
+    /// Evaluate the fabric's TLP invariants at a quiesce point. One
+    /// atomic load and a branch when no `stellar_check` scope is open.
+    pub fn check_invariants(&self, at: stellar_sim::SimTime) {
+        stellar_check::at_quiesce(at, stellar_check::Layer::Pcie, |c| {
+            c.check(
+                "pcie.tlp_completion_matching",
+                self.tlp_requests == self.p2p_tlps + self.rc_tlps + self.tlp_faults,
+                || {
+                    format!(
+                        "requests {} != p2p {} + rc {} + faults {}",
+                        self.tlp_requests, self.p2p_tlps, self.rc_tlps, self.tlp_faults
+                    )
+                },
+            );
+            c.check("pcie.at_field_legality", self.untranslated_p2p == 0, || {
+                format!(
+                    "{} untranslated TLP(s) were switched peer-to-peer",
+                    self.untranslated_p2p
+                )
+            });
+        });
     }
 }
 
@@ -570,5 +634,61 @@ mod tests {
             .unwrap();
         // Different switch: must cross the RC even though translated.
         assert_eq!(out.path, RoutePath::ViaRootComplex);
+    }
+
+    #[test]
+    fn tlp_ledger_balances_across_completions_and_faults() {
+        // The strict scope closes (and reports any violation) before the
+        // explicit counter asserts below, so a broken ledger fails with
+        // the invariant's own sim-time-stamped report.
+        let f = stellar_check::strict(|| {
+            let (mut f, sw, rnic, _gpu) = fabric();
+            f.register_lut(sw, Bdf::new(0x3a, 0, 0)).unwrap();
+            f.iommu_mut()
+                .map(Iova(0x7000), Hpa(MEM_BASE + 0x9000), PAGE_4K)
+                .unwrap();
+            // One P2P completion, one RC completion, one IOMMU fault.
+            f.route(Tlp {
+                source: rnic,
+                kind: TlpKind::MemWrite,
+                addr: 0x4000_0100,
+                at: AtField::Translated,
+                bytes: 4096,
+            })
+            .unwrap();
+            f.route(Tlp {
+                source: rnic,
+                kind: TlpKind::MemWrite,
+                addr: 0x7010,
+                at: AtField::Untranslated,
+                bytes: 64,
+            })
+            .unwrap();
+            f.route(Tlp {
+                source: rnic,
+                kind: TlpKind::MemRead,
+                addr: 0xbad0_0000,
+                at: AtField::Untranslated,
+                bytes: 64,
+            })
+            .unwrap_err();
+            // Translated but aimed at host memory: not P2P-eligible, so
+            // this is the pre-translated via-RC completion path.
+            let out = f
+                .route(Tlp {
+                    source: rnic,
+                    kind: TlpKind::MemWrite,
+                    addr: MEM_BASE + 0x9000,
+                    at: AtField::Translated,
+                    bytes: 256,
+                })
+                .unwrap();
+            assert_eq!(out.path, RoutePath::ViaRootComplex);
+            f.check_invariants(stellar_sim::SimTime::ZERO);
+            f
+        });
+        assert_eq!(f.tlp_requests(), 4);
+        assert_eq!(f.tlp_faults(), 1);
+        assert_eq!(f.tlp_counters(), (1, 2));
     }
 }

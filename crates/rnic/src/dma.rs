@@ -328,6 +328,14 @@ impl DmaEngine {
 
         report.elapsed = elapsed;
         report.gbps = stellar_sim::stats::gbps(report.bytes, elapsed);
+        // A completed DMA is a quiesce point: the MTT ledger and the fabric
+        // TLP ledger must both balance. The engine has no global sim clock,
+        // so the report is stamped with the transfer-relative elapsed time.
+        if stellar_check::enabled() {
+            let at = stellar_sim::SimTime::ZERO + elapsed;
+            mtt.check_invariants(at);
+            fabric.check_invariants(at);
+        }
         Ok(report)
     }
 
@@ -638,6 +646,36 @@ mod tests {
             0,
         );
         assert!(matches!(err, Err(DmaError::EmptyTransfer)));
+    }
+
+    #[test]
+    fn dma_quiesce_checks_pass_in_strict_mode() {
+        stellar_check::strict(|| {
+            let mut r = rig(1024);
+            r.mtt
+                .register_extended_contiguous(
+                    MrKey(1),
+                    Gva(0),
+                    Hpa(GPU_BAR),
+                    16 * PAGE_4K,
+                    MemOwner::Gpu(r.gpu),
+                )
+                .unwrap();
+            let e = engine(400.0);
+            let report = e
+                .write(
+                    TranslationMode::Emtt,
+                    &mut r.mtt,
+                    &mut r.atc,
+                    &mut r.fabric,
+                    r.rnic,
+                    MrKey(1),
+                    Gva(0),
+                    16 * PAGE_4K,
+                )
+                .unwrap();
+            assert_eq!(report.pages, 16);
+        });
     }
 
     #[test]

@@ -105,6 +105,27 @@ impl DoorbellTable {
     pub fn allocated(&self) -> usize {
         self.by_vdev.len()
     }
+
+    /// Run the doorbell accounting invariant at a quiesce point: every page
+    /// ever carved from the BAR is either held by a vdev or on the free
+    /// list (no-op unless a `stellar_check` scope is active).
+    pub fn check_invariants(&self, at: stellar_sim::SimTime) {
+        stellar_check::at_quiesce(at, stellar_check::Layer::Rnic, |c| {
+            let carved = (self.next_offset / PAGE_4K) as usize;
+            c.check(
+                "rnic.doorbell_accounting",
+                self.by_vdev.len() + self.free.len() == carved,
+                || {
+                    format!(
+                        "allocated {} + free {} != carved pages {}",
+                        self.by_vdev.len(),
+                        self.free.len(),
+                        carved
+                    )
+                },
+            );
+        });
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +177,19 @@ mod tests {
         t.allocate(VdevId(3)).unwrap();
         assert_eq!(t.hpa_of(VdevId(3)), Some(Hpa(0x2000_0000)));
         assert_eq!(t.hpa_of(VdevId(4)), None);
+    }
+
+    #[test]
+    fn accounting_invariant_holds_across_alloc_and_release() {
+        stellar_check::strict(|| {
+            let mut t = table(4);
+            t.allocate(VdevId(0)).unwrap();
+            t.allocate(VdevId(1)).unwrap();
+            t.release(VdevId(0)).unwrap();
+            // Recycles the freed page rather than carving a new one.
+            t.allocate(VdevId(2)).unwrap();
+            t.check_invariants(stellar_sim::SimTime::ZERO);
+            assert_eq!(t.allocated(), 2);
+        });
     }
 }

@@ -257,6 +257,30 @@ impl Mtt {
     pub fn counters(&self) -> (u64, u64) {
         (self.lookups, self.misses)
     }
+
+    /// Run the MTT accounting invariants at a quiesce point (no-op unless a
+    /// `stellar_check` scope is active).
+    pub fn check_invariants(&self, at: stellar_sim::SimTime) {
+        stellar_check::at_quiesce(at, stellar_check::Layer::Rnic, |c| {
+            let region_entries: usize =
+                self.regions.values().map(|r| r.entries.len()).sum();
+            c.check(
+                "rnic.mtt_entry_accounting",
+                self.used_entries == region_entries,
+                || {
+                    format!(
+                        "used_entries {} != sum of region entries {}",
+                        self.used_entries, region_entries
+                    )
+                },
+            );
+            c.check(
+                "rnic.mtt_lookup_accounting",
+                self.misses <= self.lookups,
+                || format!("misses {} exceed lookups {}", self.misses, self.lookups),
+            );
+        });
+    }
 }
 
 #[cfg(test)]
@@ -371,5 +395,32 @@ mod tests {
     fn deregister_unknown_is_false() {
         let mut t = mtt(10);
         assert!(!t.deregister(MrKey(9)));
+    }
+
+    #[test]
+    fn accounting_invariants_hold_across_register_and_deregister() {
+        // The strict scope closes (reporting any violation) before the
+        // counter asserts below, so a broken ledger fails with the
+        // invariant's own report.
+        let t = stellar_check::strict(|| {
+            let mut t = mtt(100);
+            t.register_legacy_contiguous(MrKey(1), Gva(0), Iova(0), 2 * PAGE_4K)
+                .unwrap();
+            t.register_extended_contiguous(
+                MrKey(2),
+                Gva(0x100000),
+                Hpa(0xA000),
+                PAGE_4K,
+                MemOwner::HostMem,
+            )
+            .unwrap();
+            t.lookup(MrKey(1), Gva(0)).unwrap();
+            assert!(t.lookup(MrKey(9), Gva(0)).is_err());
+            assert!(t.deregister(MrKey(1)));
+            t.check_invariants(stellar_sim::SimTime::ZERO);
+            t
+        });
+        assert_eq!(t.used_entries(), 1);
+        assert_eq!(t.counters(), (2, 1));
     }
 }

@@ -49,6 +49,7 @@ pub mod par;
 pub mod proptest_lite;
 mod queue;
 mod rng;
+pub mod shrink;
 pub mod stats;
 mod time;
 

@@ -69,10 +69,15 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Drop all pending events and reset the clock, FIFO sequence, and
-    /// scheduled-total counter to their initial state — but keep the
-    /// heap's allocation, so repeated seed runs reuse it instead of
-    /// rebuilding the heap from scratch.
+    /// Drop all pending events and reset every observable to its initial
+    /// state: [`now`](Self::now) returns [`SimTime::ZERO`],
+    /// [`scheduled_total`](Self::scheduled_total) and
+    /// [`peak_len`](Self::peak_len) return 0, and the FIFO tie-break
+    /// sequence restarts (so a cleared queue schedules and pops exactly
+    /// like a fresh one). Only the heap's allocation is kept, so repeated
+    /// seed runs reuse it instead of rebuilding the heap from scratch —
+    /// this is what makes `TransportSim::reset` observably identical to
+    /// constructing a new sim.
     pub fn clear(&mut self) {
         self.heap.clear();
         self.next_seq = 0;

@@ -1,0 +1,177 @@
+//! Deterministic test-case shrinking: reduce a failing scenario to a
+//! minimal seed-replayable reproducer.
+//!
+//! Two primitives cover the shapes simulation configs are made of:
+//!
+//! * [`shrink_list`] — delta-debugging (ddmin) over an ordered list
+//!   (fault-plan events, workload steps): repeatedly remove chunks while
+//!   the failure still reproduces, halving the chunk size until single
+//!   elements can no longer be removed.
+//! * [`shrink_scalar`] — bisection over a numeric knob (iterations,
+//!   payload bytes, path counts) toward its smallest failing value.
+//!
+//! Both are fully deterministic: no randomness, no wall clock — the same
+//! predicate yields the same minimal reproducer on every run. The
+//! predicate is handed *candidates*, so it must itself be deterministic
+//! (seeded simulation runs, never wall-clock-dependent checks).
+//!
+//! The guarantee is **1-minimality**, not global minimality: removing any
+//! single remaining element (or decrementing the scalar once, under a
+//! monotone predicate) no longer reproduces the failure. That is the
+//! standard ddmin contract and exactly what a human debugging a chaos
+//! plan wants: nothing left in the reproducer is dead weight.
+
+/// Shrink `items` to a 1-minimal sublist on which `still_fails` holds.
+///
+/// `still_fails(&items)` must be `true` on entry (the caller owns the
+/// initial repro); if it is not, the input is returned unchanged. The
+/// result preserves the original relative order — only removals happen,
+/// never reordering — so schedules keep their causal structure.
+///
+/// Worst-case probes: `O(n log n)` calls to `still_fails` for `n` items.
+pub fn shrink_list<T: Clone>(
+    items: &[T],
+    still_fails: &mut dyn FnMut(&[T]) -> bool,
+) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.is_empty() || !still_fails(&current) {
+        return current;
+    }
+    let mut chunk = current.len().div_ceil(2);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = current[..start].to_vec();
+            candidate.extend_from_slice(&current[end..]);
+            if still_fails(&candidate) {
+                // The chunk was dead weight; the next chunk has shifted
+                // into `start`, so do not advance.
+                current = candidate;
+                removed_any = true;
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                return current; // 1-minimal: nothing single can go
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+        if current.is_empty() {
+            return current;
+        }
+    }
+}
+
+/// Bisect toward the smallest value in `[lo, hi]` on which `still_fails`
+/// holds, assuming it holds at `hi` (the caller's known repro).
+///
+/// If the predicate is monotone (failing at `v` implies failing at every
+/// `v' > v`) the result is the global minimum; otherwise it is *a*
+/// locally minimal failing value — still a valid, smaller reproducer.
+/// Probes `O(log(hi - lo))` times.
+pub fn shrink_scalar(
+    lo: u64,
+    hi: u64,
+    still_fails: &mut dyn FnMut(u64) -> bool,
+) -> u64 {
+    assert!(lo <= hi, "shrink_scalar: empty range");
+    if still_fails(lo) {
+        return lo;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if still_fails(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_shrinks_to_the_single_culprit() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut probes = 0;
+        let out = shrink_list(&items, &mut |c| {
+            probes += 1;
+            c.contains(&37)
+        });
+        assert_eq!(out, vec![37]);
+        assert!(probes < 10 * 100, "ddmin must stay near n log n: {probes}");
+    }
+
+    #[test]
+    fn list_keeps_an_interacting_pair() {
+        // Failure needs BOTH 3 and 60: ddmin must keep exactly those.
+        let items: Vec<u32> = (0..80).collect();
+        let out = shrink_list(&items, &mut |c| c.contains(&3) && c.contains(&60));
+        assert_eq!(out, vec![3, 60]);
+    }
+
+    #[test]
+    fn list_preserves_relative_order() {
+        let items = vec![5u32, 1, 9, 2, 7];
+        let out = shrink_list(&items, &mut |c| {
+            let pos9 = c.iter().position(|&x| x == 9);
+            let pos7 = c.iter().position(|&x| x == 7);
+            matches!((pos9, pos7), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(out, vec![9, 7]);
+    }
+
+    #[test]
+    fn list_returns_input_when_predicate_does_not_fail() {
+        let items = vec![1u32, 2, 3];
+        let out = shrink_list(&items, &mut |_| false);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn list_can_shrink_to_empty() {
+        let items = vec![1u32, 2, 3, 4];
+        let out = shrink_list(&items, &mut |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scalar_finds_the_monotone_threshold() {
+        let mut probes = 0;
+        let min = shrink_scalar(1, 1_000_000, &mut |v| {
+            probes += 1;
+            v >= 4711
+        });
+        assert_eq!(min, 4711);
+        assert!(probes <= 22, "bisection must stay logarithmic: {probes}");
+    }
+
+    #[test]
+    fn scalar_returns_lo_when_lo_fails() {
+        assert_eq!(shrink_scalar(3, 100, &mut |_| true), 3);
+    }
+
+    #[test]
+    fn scalar_returns_hi_when_only_hi_fails() {
+        assert_eq!(shrink_scalar(0, 10, &mut |v| v == 10), 10);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let items: Vec<u32> = (0..64).rev().collect();
+        let pred = |c: &[u32]| c.iter().filter(|&&x| x % 7 == 0).count() >= 3;
+        let a = shrink_list(&items, &mut |c| pred(c));
+        let b = shrink_list(&items, &mut |c| pred(c));
+        assert_eq!(a, b);
+        assert!(pred(&a));
+    }
+}

@@ -66,6 +66,101 @@ fn lru_matches_reference_model() {
     });
 }
 
+/// The cache never exceeds its capacity, and every eviction removes
+/// exactly the least-recently-used key (the back of a reference
+/// recency list maintained alongside).
+#[test]
+fn lru_evicts_exactly_the_least_recently_used() {
+    check("lru_evicts_exactly_the_least_recently_used", 256, |g| {
+        let capacity = g.usize(1, 6);
+        let ops = g.vec(1, 200, |g| (g.bool(), g.u32(0, 10)));
+        let mut lru = LruCache::new(capacity);
+        let mut recency: Vec<u32> = Vec::new(); // most-recent first
+        for (is_insert, key) in ops {
+            if is_insert {
+                let resident = recency.contains(&key);
+                let evicted = lru.insert(key, key);
+                if resident {
+                    assert_eq!(evicted, None, "updating a resident key must not evict");
+                    recency.retain(|&k| k != key);
+                } else if recency.len() == capacity {
+                    let lru_key = recency.pop().unwrap();
+                    assert_eq!(evicted, Some((lru_key, lru_key)));
+                } else {
+                    assert_eq!(evicted, None);
+                }
+                recency.insert(0, key);
+            } else if lru.get(&key).is_some() {
+                recency.retain(|&k| k != key);
+                recency.insert(0, key);
+            }
+            assert!(lru.len() <= capacity, "capacity bound violated");
+            assert_eq!(lru.len(), recency.len());
+        }
+    });
+}
+
+/// Re-inserting a resident key is idempotent for membership: the length
+/// is unchanged, nothing is evicted, and the stored value is replaced.
+#[test]
+fn lru_reinsert_is_idempotent_for_membership() {
+    check("lru_reinsert_is_idempotent_for_membership", 256, |g| {
+        let capacity = g.usize(1, 8);
+        let keys = g.vec(1, 50, |g| g.u32(0, 6));
+        let mut lru = LruCache::new(capacity);
+        for &k in &keys {
+            lru.insert(k, k as u64);
+        }
+        let len = lru.len();
+        for &k in &keys {
+            if lru.peek(&k).is_some() {
+                assert_eq!(lru.insert(k, u64::from(k) + 1000), None);
+                assert_eq!(lru.len(), len);
+                assert_eq!(lru.peek(&k), Some(&(u64::from(k) + 1000)));
+            }
+        }
+    });
+}
+
+/// Counter accounting: hits + misses equals the number of `get` calls,
+/// evictions equals inserts of fresh keys beyond capacity, and `peek` /
+/// `invalidate_all` never touch the hit/miss counters.
+#[test]
+fn lru_stats_account_every_operation() {
+    check("lru_stats_account_every_operation", 256, |g| {
+        let capacity = g.usize(1, 5);
+        let ops = g.vec(1, 150, |g| (g.u8(0, 2), g.u32(0, 8)));
+        let mut lru = LruCache::new(capacity);
+        let (mut gets, mut expect_evictions) = (0u64, 0u64);
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    if lru.peek(&key).is_none() && lru.len() == capacity {
+                        expect_evictions += 1;
+                    }
+                    lru.insert(key, key);
+                }
+                1 => {
+                    lru.get(&key);
+                    gets += 1;
+                }
+                _ => {
+                    let before = lru.stats();
+                    lru.peek(&key);
+                    assert_eq!(lru.stats(), before, "peek must not change accounting");
+                }
+            }
+        }
+        let (hits, misses, evictions) = lru.stats();
+        assert_eq!(hits + misses, gets);
+        assert_eq!(evictions, expect_evictions);
+        let stats_before = lru.stats();
+        lru.invalidate_all();
+        assert!(lru.is_empty());
+        assert_eq!(lru.stats(), stats_before, "invalidation keeps statistics");
+    });
+}
+
 /// Derangements never map an index to itself and are permutations.
 #[test]
 fn derangements_are_valid() {

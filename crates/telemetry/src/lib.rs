@@ -434,6 +434,9 @@ pub fn capture<R>(config: TelemetryConfig, f: impl FnOnce() -> R) -> (R, Telemet
     push_context(Telemetry::new(config));
     let out = f();
     let t = pop_context().expect("capture context still on the stack");
+    // The end of a capture is a quiesce point for the span ledger: every
+    // span ever opened must be closed, leaked, or still open.
+    t.spans.check_invariants(SimTime::ZERO);
     (out, t)
 }
 

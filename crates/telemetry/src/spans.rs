@@ -18,6 +18,8 @@ pub struct SpanTracker {
     stages: Vec<Histogram>,
     unmatched_closes: u64,
     leaked: u64,
+    opened: u64,
+    closed: u64,
 }
 
 impl SpanTracker {
@@ -28,12 +30,15 @@ impl SpanTracker {
             stages: vec![Histogram::new(); Stage::ALL.len()],
             unmatched_closes: 0,
             leaked: 0,
+            opened: 0,
+            closed: 0,
         }
     }
 
     /// Open a span. Re-opening a live `(stage, key)` replaces the earlier
     /// open and counts it as leaked — it can no longer be closed.
     pub fn open(&mut self, stage: Stage, key: u64, at: SimTime) {
+        self.opened += 1;
         if self.open.insert((stage.index(), key), at).is_some() {
             self.leaked += 1;
         }
@@ -44,6 +49,7 @@ impl SpanTracker {
     pub fn close(&mut self, stage: Stage, key: u64, at: SimTime) {
         match self.open.remove(&(stage.index(), key)) {
             Some(opened) => {
+                self.closed += 1;
                 self.stages[stage.index()].record_duration(at.saturating_duration_since(opened));
             }
             None => self.unmatched_closes += 1,
@@ -78,6 +84,34 @@ impl SpanTracker {
         self.leaked
     }
 
+    /// Spans ever opened (including re-opens that leaked the first open).
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Spans closed against a matching open (unmatched closes excluded).
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// Run the span-balance invariant at a quiesce point: every span ever
+    /// opened is closed, leaked, or still open (no-op unless a
+    /// `stellar_check` scope is active).
+    pub fn check_invariants(&self, at: SimTime) {
+        stellar_check::at_quiesce(at, stellar_check::Layer::Telemetry, |c| {
+            let accounted = self.closed + self.leaked + self.open.len() as u64;
+            c.check("telemetry.span_balance", self.opened == accounted, || {
+                format!(
+                    "opened {} != closed {} + leaked {} + open {}",
+                    self.opened,
+                    self.closed,
+                    self.leaked,
+                    self.open.len()
+                )
+            });
+        });
+    }
+
     /// Fold a child job's tracker in: histograms take the multiset union
     /// (order-insensitive), anomaly counters add, and the child's still
     /// open spans become leaks — they are keyed in the child's id space
@@ -88,6 +122,8 @@ impl SpanTracker {
         }
         self.unmatched_closes += other.unmatched_closes;
         self.leaked += other.leaked + other.open.len() as u64;
+        self.opened += other.opened;
+        self.closed += other.closed;
     }
 }
 
@@ -140,6 +176,29 @@ mod tests {
         assert_eq!(s.leaked(), 1);
         s.close(Stage::TransportRtt, 9, t(30));
         assert_eq!(s.stage(Stage::TransportRtt).percentiles().max(), Some(10));
+    }
+
+    #[test]
+    fn span_balance_holds_across_close_leak_merge_and_open() {
+        // The strict scope closes (reporting any violation) before the
+        // counter asserts below, so a broken ledger fails with the
+        // invariant's own report.
+        let s = stellar_check::strict(|| {
+            let mut s = SpanTracker::new();
+            s.open(Stage::TransportMsg, 1, t(0));
+            s.close(Stage::TransportMsg, 1, t(10)); // closed
+            s.open(Stage::TransportMsg, 2, t(20));
+            s.open(Stage::TransportMsg, 2, t(30)); // re-open leaks the first
+            s.close(Stage::TransportRtt, 9, t(40)); // unmatched, not "closed"
+            let mut child = SpanTracker::new();
+            child.open(Stage::FabricQueueing, 5, t(50)); // leaks on merge
+            s.merge(child);
+            s.open(Stage::AtcHit, 3, t(60)); // still open
+            s.check_invariants(t(100));
+            s
+        });
+        assert_eq!((s.opened(), s.closed(), s.leaked()), (5, 1, 2));
+        assert_eq!(s.open_count(), 2);
     }
 
     #[test]

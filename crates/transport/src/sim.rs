@@ -189,6 +189,18 @@ impl TransportSim {
         self.queue.now()
     }
 
+    /// Events scheduled since construction or the last
+    /// [`reset`](Self::reset) (which zeroes it via `EventQueue::clear`).
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+
+    /// Deepest pending-event backlog since construction or the last
+    /// [`reset`](Self::reset) (which zeroes it via `EventQueue::clear`).
+    pub fn queue_peak_len(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// The transport configuration.
     pub fn config(&self) -> &TransportConfig {
         &self.config
@@ -585,6 +597,25 @@ impl TransportSim {
             pkt.path = new_path;
             rt.conn.stats.retransmits += 1;
             count(Subsystem::Transport, "retransmit", 1);
+            // The budget gate above must fire before a packet's retx count
+            // can pass the budget; checking at the increment (not just at
+            // end-of-run quiesce) catches a broken gate in the transient
+            // window before the connection is torn down.
+            if stellar_check::enabled() {
+                let retx = pkt.retx;
+                stellar_check::at_quiesce(now, stellar_check::Layer::Transport, |c| {
+                    c.check(
+                        "transport.retry_budget",
+                        retx <= self.config.retry_budget,
+                        || {
+                            format!(
+                                "conn {}: packet seq {seq} retransmitted {retx} times, budget {}",
+                                conn_id.0, self.config.retry_budget
+                            )
+                        },
+                    );
+                });
+            }
         }
         let cc_idx = self.cc_index(conn_id, old_path);
         let share = if self.config.per_path_cc {
@@ -645,11 +676,78 @@ impl TransportSim {
                 app.on_connection_error(self, c, e);
             }
         }
+        // Returning from `run` is a quiesce point: nothing is mid-event,
+        // so every cross-layer ledger must balance.
+        if stellar_check::enabled() {
+            self.check_invariants(self.now());
+        }
     }
 
     /// Run until every connection is idle (or `hard_stop` is reached).
     pub fn run_to_idle<A: App>(&mut self, app: &mut A, hard_stop: SimTime) {
         self.run(app, hard_stop);
+    }
+
+    /// Run the transport conservation invariants at a quiesce point
+    /// (no-op unless a `stellar_check` scope is active). Called
+    /// automatically when [`TransportSim::run`] returns; also callable
+    /// directly from tests. Cascades into the fabric's own checks.
+    pub fn check_invariants(&self, at: SimTime) {
+        stellar_check::at_quiesce(at, stellar_check::Layer::Transport, |c| {
+            let drained = self.queue.is_empty();
+            for rt in &self.conns {
+                let conn = &rt.conn;
+                let id = conn.id.0;
+                let actual: u64 = conn.inflight.values().map(|p| p.bytes).sum();
+                c.check(
+                    "transport.inflight_bytes",
+                    conn.inflight_bytes == actual,
+                    || {
+                        format!(
+                            "conn {id}: window gauge {} != sum of in-flight packets {}",
+                            conn.inflight_bytes, actual
+                        )
+                    },
+                );
+                let worst = conn.inflight.values().map(|p| p.retx).max().unwrap_or(0);
+                c.check(
+                    "transport.retry_budget",
+                    worst <= self.config.retry_budget,
+                    || {
+                        format!(
+                            "conn {id}: packet retransmitted {worst} times, budget {}",
+                            self.config.retry_budget
+                        )
+                    },
+                );
+                let st = &conn.stats;
+                c.check(
+                    "transport.stats_conservation",
+                    st.delivered_packets <= st.sent_packets
+                        && st.acks <= st.sent_packets + st.retransmits
+                        && st.ecn_acks <= st.acks,
+                    || format!("conn {id}: counters out of balance: {st:?}"),
+                );
+                // With the event queue drained nothing can make further
+                // progress, so every connection must be at rest: idle if
+                // Active, fully torn down if Error.
+                if drained {
+                    let at_rest = conn.unsent.is_empty()
+                        && conn.inflight.is_empty()
+                        && (conn.state == ConnState::Active || conn.inflight_bytes == 0);
+                    c.check("transport.idle_quiescence", at_rest, || {
+                        format!(
+                            "conn {id}: event queue drained but work remains \
+                             ({} unsent, {} in flight, state {:?})",
+                            conn.unsent.len(),
+                            conn.inflight.len(),
+                            conn.state
+                        )
+                    });
+                }
+            }
+        });
+        self.network.check_invariants(at);
     }
 }
 
@@ -703,6 +801,53 @@ mod tests {
         assert_eq!(st.delivered_bytes, 1024 * 1024);
         assert_eq!(st.completed_messages, 1);
         assert!(sim.all_idle());
+    }
+
+    /// `reset` restores every queue observable — `now`, the
+    /// `scheduled_total` counter behind [`TransportSim::events_scheduled`]
+    /// and the `peak_len` high-water mark behind
+    /// [`TransportSim::queue_peak_len`] — to its initial state
+    /// (`EventQueue::clear` semantics), and a reset sim replays a
+    /// workload to the exact same schedule as a freshly constructed one.
+    #[test]
+    fn reset_restores_queue_observables_and_replays_identically() {
+        let run = |sim: &mut TransportSim| {
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(4, 0);
+            let conn = sim.add_connection(src, dst);
+            let msg = sim.post_message(conn, 256 * 1024);
+            sim.run(&mut NoopApp, FOREVER);
+            (
+                sim.message_completed_at(conn, msg).expect("completed"),
+                sim.events_scheduled(),
+                sim.queue_peak_len(),
+            )
+        };
+        let mut sim = make_sim(PathAlgo::Obs, 8, 5);
+        let first = run(&mut sim);
+        assert!(first.1 > 0 && first.2 > 0);
+        assert!(sim.now() > SimTime::ZERO);
+
+        // Rebuild the exact network + RNG streams the constructor used.
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 4,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 8,
+        });
+        let rng = SimRng::from_seed(5);
+        let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+        sim.reset(network, rng.fork("transport"));
+        assert_eq!(sim.now(), SimTime::ZERO, "reset must rewind the clock");
+        assert_eq!(sim.events_scheduled(), 0, "reset must zero scheduled_total");
+        assert_eq!(sim.queue_peak_len(), 0, "reset must zero peak_len");
+
+        let second = run(&mut sim);
+        assert_eq!(
+            first, second,
+            "a reset sim must be observably identical to a fresh one"
+        );
     }
 
     #[test]
@@ -1173,6 +1318,43 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Every `run` return is a quiesce point under `stellar_check`: a
+    /// lossy transfer (drops, RTOs, retransmissions) and a torn-down
+    /// connection must both leave every transport and fabric ledger
+    /// balanced.
+    #[test]
+    fn invariants_hold_across_loss_and_connection_teardown() {
+        stellar_check::strict(|| {
+            // Lossy but recoverable transfer.
+            let mut sim = make_sim(PathAlgo::Obs, 128, 4);
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(4, 0);
+            let link = sim.network().topology().route(src, dst, 0, 0)[1];
+            sim.network_mut().set_loss(link, 0.02);
+            let conn = sim.add_connection(src, dst);
+            let msg = sim.post_message(conn, 8 * 1024 * 1024);
+            sim.run(&mut NoopApp, FOREVER);
+            assert!(sim.message_completed_at(conn, msg).is_some());
+
+            // Unreachable peer: the connection dies, and the torn-down
+            // state must still satisfy idle quiescence.
+            let mut dead = make_sim(PathAlgo::Obs, 32, 9);
+            let src = dead.network().topology().nic(0, 0);
+            let dst = dead.network().topology().nic(4, 0);
+            dead.network_mut().config_mut().bgp_convergence =
+                SimDuration::from_millis(10_000);
+            for plane in 0..2 {
+                let (up, down) = dead.network().topology().nic_port_links(dst, plane);
+                dead.network_mut().set_link_up(up, false);
+                dead.network_mut().set_link_up(down, false);
+            }
+            let conn = dead.add_connection(src, dst);
+            dead.post_message(conn, 64 * 1024);
+            dead.run(&mut NoopApp, FOREVER);
+            assert_eq!(dead.conn_state(conn), ConnState::Error);
+        });
     }
 
     /// The telemetry hub is a mirror, not a second bookkeeper: every

@@ -194,6 +194,11 @@ impl Pvdma {
             }
             block += bs;
         }
+        // A completed preparation is a quiesce point: the map cache and
+        // the IOMMU pin ledger must agree.
+        if stellar_check::enabled() {
+            self.check_invariants(iommu, stellar_sim::SimTime::ZERO + outcome.latency);
+        }
         Ok(outcome)
     }
 
@@ -282,6 +287,40 @@ impl Pvdma {
     /// Number of pinned blocks (map-cache size).
     pub fn pinned_blocks(&self) -> usize {
         self.map_cache.len()
+    }
+
+    /// Run the PVDMA accounting invariant at a quiesce point (no-op
+    /// unless a `stellar_check` scope is active): every resident
+    /// map-cache entry came from a pin (a miss), records no more pages
+    /// than its block holds, and the pages it claims are actually pinned
+    /// in `iommu`.
+    pub fn check_invariants(&self, iommu: &Iommu, at: stellar_sim::SimTime) {
+        stellar_check::at_quiesce(at, stellar_check::Layer::Virt, |c| {
+            let pages_per_block = self.config.block_size / PAGE_4K;
+            let cached_pages: u64 = self.map_cache.values().sum();
+            let oversized = self
+                .map_cache
+                .values()
+                .filter(|&&pages| pages == 0 || pages > pages_per_block)
+                .count();
+            c.check(
+                "virt.pvdma_accounting",
+                self.map_cache.len() as u64 <= self.misses
+                    && oversized == 0
+                    && cached_pages * PAGE_4K <= iommu.pinned_bytes(),
+                || {
+                    format!(
+                        "map cache holds {} blocks / {} pages ({} mis-sized) \
+                         against {} pinned misses and {} pinned IOMMU bytes",
+                        self.map_cache.len(),
+                        cached_pages,
+                        oversized,
+                        self.misses,
+                        iommu.pinned_bytes()
+                    )
+                },
+            );
+        });
     }
 }
 
@@ -457,6 +496,22 @@ mod tests {
         p.dma_prepare(&h, &mut iommu, Gpa(0), PAGE_2M).unwrap();
         let bad = p.check_consistency(&h, &mut iommu, Gpa(0), 4 * PAGE_2M);
         assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn accounting_invariant_holds_across_pin_hit_and_release() {
+        stellar_check::strict(|| {
+            let (h, mut iommu, mut p) = setup(16 * PAGE_2M);
+            // Miss (pin), hit, multi-block pin — each dma_prepare is a
+            // checked quiesce point.
+            p.dma_prepare(&h, &mut iommu, Gpa(0x1000), 0x2000).unwrap();
+            p.dma_prepare(&h, &mut iommu, Gpa(0x3000), 0x1000).unwrap();
+            p.dma_prepare(&h, &mut iommu, Gpa(4 * PAGE_2M), 2 * PAGE_2M)
+                .unwrap();
+            p.release_all(&mut iommu);
+            p.check_invariants(&iommu, stellar_sim::SimTime::ZERO);
+            assert_eq!(p.pinned_blocks(), 0);
+        });
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Pinned smoke test for secure-container boot (Fig. 6 inputs): exact
+//! boot-time decompositions for a FullPin and a PVDMA container of the
+//! same size. The hypervisor and pinning timing models are
+//! deterministic, so these are golden values; re-pin only for an
+//! intentional timing-model change.
+
+use stellar_pcie::Hpa;
+use stellar_virt::rund::boot_experiment_iommu;
+use stellar_virt::{BootReport, MemoryStrategy, RundConfig, RundContainer};
+
+const GIB: u64 = 1024 * 1024 * 1024;
+
+fn boot(mem: u64, strategy: MemoryStrategy) -> BootReport {
+    let mut iommu = boot_experiment_iommu();
+    let (_, report) =
+        RundContainer::boot(RundConfig::new(mem, strategy), &mut iommu, Hpa(1 << 40)).unwrap();
+    report
+}
+
+#[test]
+fn boot_decomposition_is_pinned_for_a_16_gib_guest() {
+    let pinned = boot(16 * GIB, MemoryStrategy::FullPin);
+    assert_eq!(pinned.total.as_nanos(), 10_523_904_720);
+    assert_eq!(pinned.hypervisor_setup.as_nanos(), 6_623_200_000);
+    assert_eq!(pinned.memory_pin.as_nanos(), 3_900_704_720);
+
+    let pvdma = boot(16 * GIB, MemoryStrategy::Pvdma);
+    assert_eq!(pvdma.total.as_nanos(), 6_623_200_000);
+    assert_eq!(pvdma.hypervisor_setup.as_nanos(), 6_623_200_000);
+    assert_eq!(pvdma.memory_pin.as_nanos(), 0);
+
+    // PVDMA's whole advantage is the vanished pin stage: the totals must
+    // differ by exactly the FullPin pin time.
+    assert_eq!(pinned.total - pvdma.total, pinned.memory_pin);
+}
+
+#[test]
+fn boot_is_deterministic_across_repeat_runs() {
+    let a = boot(2 * GIB, MemoryStrategy::FullPin);
+    let b = boot(2 * GIB, MemoryStrategy::FullPin);
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.memory_pin, b.memory_pin);
+}

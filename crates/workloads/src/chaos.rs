@@ -84,6 +84,11 @@ pub struct ChaosConfig {
     pub scoreboard: ScoreboardPolicy,
     /// Seed for fabric, transport, and fault plan.
     pub seed: u64,
+    /// Restrict the scenario's fault plan to these indices into its
+    /// time-sorted event list (`None` = the full plan). Produced by
+    /// [`shrink_failing_chaos`] when bisecting a failure down to the
+    /// events that actually cause it.
+    pub plan_keep: Option<Vec<usize>>,
 }
 
 impl Default for ChaosConfig {
@@ -101,6 +106,7 @@ impl Default for ChaosConfig {
             rto_backoff: 2.0,
             scoreboard: ScoreboardPolicy::default(),
             seed: 7,
+            plan_keep: None,
         }
     }
 }
@@ -308,6 +314,22 @@ fn build_plan(
     }
 }
 
+/// The scenario's plan, filtered to the `plan_keep` subset when one is
+/// set (indices into the full plan's time-sorted event list).
+fn effective_plan(
+    config: &ChaosConfig,
+    sim: &TransportSim,
+    nics: &[NicId],
+    iter_time: SimDuration,
+) -> FaultPlan {
+    let full = build_plan(config, sim, nics, iter_time).into_events();
+    let events = match &config.plan_keep {
+        Some(keep) => keep.iter().filter_map(|&i| full.get(i).copied()).collect(),
+        None => full,
+    };
+    FaultPlan::from_events(config.seed, events)
+}
+
 /// Run the calibration pass: fault-free, same seed. Returns the mean
 /// busbw (GB/s) and mean iteration time, plus the spent simulator so the
 /// chaos pass can [`TransportSim::reset`] it instead of reallocating.
@@ -347,17 +369,21 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
     let rng = SimRng::from_seed(config.seed);
     sim.reset(build_network(config, &rng), rng.fork("transport"));
     let nics = ring_nics(config, &sim);
-    let plan = build_plan(config, &sim, &nics, iter_time);
+    let plan = effective_plan(config, &sim, &nics, iter_time);
+    // A shrunk plan may be empty (the shrinker probes the no-fault
+    // candidate); such a run is simply the healthy workload again.
     let fault_start = plan
+        .clone()
         .into_events()
         .first()
         .map(|&(t, _)| t)
-        .expect("every scenario schedules at least one fault");
-    let plan = build_plan(config, &sim, &nics, iter_time);
+        .unwrap_or(SimTime::ZERO);
     let recovered_at = plan
         .recovery_time(config.bgp_convergence)
-        .expect("plan is non-empty");
-    sim.network_mut().install_fault_plan(plan);
+        .unwrap_or(SimTime::ZERO);
+    if !plan.is_empty() {
+        sim.network_mut().install_fault_plan(plan);
+    }
 
     let runner = AllReduceRunner::new(
         &mut sim,
@@ -430,6 +456,179 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         errors,
         verdict,
     }
+}
+
+/// Whether `config` reproduces a transport failure: a terminal
+/// connection error, a collapsed verdict, or a job that could not finish
+/// its iterations. This is the shrinker's oracle; it is a pure function
+/// of the (seeded) config.
+pub fn chaos_fails(config: &ChaosConfig) -> bool {
+    let r = run_chaos(config);
+    matches!(r.verdict, Verdict::TransportError | Verdict::Collapsed)
+        || r.iterations_completed < config.iterations
+}
+
+/// A minimal reproducer derived by [`shrink_failing_chaos`].
+#[derive(Debug, Clone)]
+pub struct ShrunkChaos {
+    /// The minimized failing configuration (replay with [`run_chaos`] or
+    /// [`chaos_fails`]).
+    pub config: ChaosConfig,
+    /// Fault events in the scenario's full plan.
+    pub full_plan_events: usize,
+    /// Fault events kept by the bisection.
+    pub kept_plan_events: usize,
+    /// Chaos runs spent probing shrink candidates.
+    pub probes: u32,
+}
+
+impl ShrunkChaos {
+    /// Render the reproducer as a ready-to-paste `#[test]` function.
+    ///
+    /// The emitted source reconstructs the exact [`ChaosConfig`]
+    /// (including the seed and the bisected `plan_keep` subset) and
+    /// asserts the failure still reproduces. Flowlet path algorithms
+    /// carry a payload that `Debug` does not render as valid source;
+    /// every unit-variant algorithm round-trips verbatim.
+    pub fn test_source(&self) -> String {
+        let c = &self.config;
+        let plan_keep = match &c.plan_keep {
+            Some(keep) => format!("Some(vec!{keep:?})"),
+            None => "None".to_string(),
+        };
+        format!(
+            "/// Minimal reproducer shrunk from a failing chaos scenario \
+             ({} of {} fault events kept).\n\
+             #[test]\n\
+             fn shrunk_chaos_reproducer() {{\n\
+            \x20   use stellar_sim::SimDuration;\n\
+            \x20   use stellar_transport::{{PathAlgo, ScoreboardPolicy}};\n\
+            \x20   use stellar_workloads::{{chaos_fails, ChaosConfig, ChaosScenario}};\n\
+            \x20   let config = ChaosConfig {{\n\
+            \x20       scenario: ChaosScenario::{:?},\n\
+            \x20       ranks: {},\n\
+            \x20       data_bytes: {},\n\
+            \x20       iterations: {},\n\
+            \x20       fail_after_iter: {},\n\
+            \x20       algo: PathAlgo::{:?},\n\
+            \x20       num_paths: {},\n\
+            \x20       bgp_convergence: SimDuration::from_nanos({}),\n\
+            \x20       retry_budget: {},\n\
+            \x20       rto_backoff: {:?},\n\
+            \x20       scoreboard: ScoreboardPolicy {{\n\
+            \x20           blacklist_after: {},\n\
+            \x20           penalty: SimDuration::from_nanos({}),\n\
+            \x20       }},\n\
+            \x20       seed: {},\n\
+            \x20       plan_keep: {},\n\
+            \x20   }};\n\
+            \x20   assert!(chaos_fails(&config), \"shrunk reproducer must still fail\");\n\
+             }}\n",
+            self.kept_plan_events,
+            self.full_plan_events,
+            c.scenario,
+            c.ranks,
+            c.data_bytes,
+            c.iterations,
+            c.fail_after_iter,
+            c.algo,
+            c.num_paths,
+            c.bgp_convergence.as_nanos(),
+            c.retry_budget,
+            c.rto_backoff,
+            c.scoreboard.blacklist_after,
+            c.scoreboard.penalty.as_nanos(),
+            c.seed,
+            plan_keep,
+        )
+    }
+}
+
+/// Shrink a failing chaos config to a minimal seed-replayable
+/// reproducer: bisect the workload scalars (iterations, payload, ring
+/// size, path fan-out) toward their smallest failing values, then ddmin
+/// the scenario's fault plan down to the events the failure actually
+/// needs. Returns `None` if `config` does not fail in the first place.
+///
+/// Deterministic end to end — every probe is a seeded [`run_chaos`] —
+/// so the same input always shrinks to the same reproducer, and
+/// [`ShrunkChaos::test_source`] prints it as a paste-ready test.
+pub fn shrink_failing_chaos(config: &ChaosConfig) -> Option<ShrunkChaos> {
+    use stellar_sim::shrink::{shrink_list, shrink_scalar};
+
+    if !chaos_fails(config) {
+        return None;
+    }
+    let mut probes: u32 = 1;
+    let mut best = config.clone();
+
+    // Workload scalars first: every later probe then replays the cheaper
+    // shrunk workload. Each knob is bisected with the others held at
+    // their current best value.
+    let it = shrink_scalar(1, best.iterations as u64, &mut |v| {
+        probes += 1;
+        let mut c = best.clone();
+        c.iterations = v as u32;
+        chaos_fails(&c)
+    });
+    best.iterations = it as u32;
+
+    // One MTU-sized chunk per rank is the smallest meaningful AllReduce.
+    let data_floor = (best.ranks as u64) * 64 * 1024;
+    if best.data_bytes > data_floor {
+        let bytes = shrink_scalar(data_floor, best.data_bytes, &mut |v| {
+            probes += 1;
+            let mut c = best.clone();
+            c.data_bytes = v;
+            chaos_fails(&c)
+        });
+        best.data_bytes = bytes;
+    }
+
+    // Ring size, in segment-pairs (the topology places ranks/2 hosts per
+    // segment, so only even ring sizes are constructible).
+    if best.ranks > 4 {
+        let half = shrink_scalar(2, (best.ranks / 2) as u64, &mut |v| {
+            probes += 1;
+            let mut c = best.clone();
+            c.ranks = (v * 2) as usize;
+            chaos_fails(&c)
+        });
+        best.ranks = (half * 2) as usize;
+    }
+
+    let paths = shrink_scalar(1, best.num_paths as u64, &mut |v| {
+        probes += 1;
+        let mut c = best.clone();
+        c.num_paths = v as u32;
+        chaos_fails(&c)
+    });
+    best.num_paths = paths as u32;
+
+    // Fault-plan bisection: ddmin over indices into the scenario's full
+    // time-sorted event list. The event *count* does not depend on the
+    // calibrated iteration time (only the timestamps do), so a
+    // placeholder spacing suffices to size the index list.
+    let full_len = {
+        let (sim, nics) = build_sim(&best);
+        build_plan(&best, &sim, &nics, SimDuration::from_micros(100)).len()
+    };
+    let all: Vec<usize> = (0..full_len).collect();
+    let kept = shrink_list(&all, &mut |keep| {
+        probes += 1;
+        let mut c = best.clone();
+        c.plan_keep = Some(keep.to_vec());
+        chaos_fails(&c)
+    });
+    best.plan_keep = Some(kept.clone());
+
+    debug_assert!(chaos_fails(&best), "shrink result must still fail");
+    Some(ShrunkChaos {
+        config: best,
+        full_plan_events: full_len,
+        kept_plan_events: kept.len(),
+        probes,
+    })
 }
 
 #[cfg(test)]
@@ -578,5 +777,74 @@ mod tests {
         assert_eq!(a_bw, b_bw);
         assert_eq!(a_rtx, b_rtx);
         assert_eq!(a_drops, b_drops);
+    }
+
+    /// A cheap failing config for the shrinker: the unhardened
+    /// single-path counterfactual with a small payload and few
+    /// iterations, so each shrink probe replays in milliseconds.
+    fn failing_unhardened() -> ChaosConfig {
+        ChaosConfig {
+            algo: PathAlgo::SinglePath,
+            num_paths: 1,
+            rto_backoff: 1.0,
+            retry_budget: 8,
+            scoreboard: ScoreboardPolicy {
+                blacklist_after: 0,
+                penalty: SimDuration::ZERO,
+            },
+            bgp_convergence: SimDuration::from_millis(50),
+            data_bytes: 256 * 1024,
+            iterations: 4,
+            ..quick(ChaosScenario::Compound)
+        }
+    }
+
+    #[test]
+    fn shrinker_minimizes_a_failing_compound_plan() {
+        let config = failing_unhardened();
+        assert!(chaos_fails(&config), "shrinker input must fail");
+
+        let shrunk = shrink_failing_chaos(&config).expect("failing config must shrink");
+        // Replaying the minimized config reproduces the failure.
+        assert!(chaos_fails(&shrunk.config), "shrunk config must still fail");
+        // The Compound plan schedules 17 events; the single-path failure
+        // needs only a strict subset of them (the switch death alone
+        // suffices, the flap storm is dead weight).
+        assert!(
+            shrunk.kept_plan_events < shrunk.full_plan_events,
+            "ddmin must drop dead-weight fault events: kept {} of {}",
+            shrunk.kept_plan_events,
+            shrunk.full_plan_events
+        );
+        assert!(shrunk.config.iterations <= config.iterations);
+        assert!(shrunk.probes > 0);
+
+        // And the rendered reproducer is paste-ready source.
+        let src = shrunk.test_source();
+        assert!(src.contains("#[test]"), "missing test attribute:\n{src}");
+        assert!(src.contains("seed: "), "missing seed:\n{src}");
+        assert!(
+            src.contains("plan_keep: Some(vec!["),
+            "missing bisected plan subset:\n{src}"
+        );
+        assert!(src.contains("chaos_fails(&config)"), "missing oracle:\n{src}");
+    }
+
+    #[test]
+    fn shrinker_declines_a_healthy_config() {
+        // The hardened default rides through FlapStorm; nothing to shrink.
+        assert!(shrink_failing_chaos(&quick(ChaosScenario::FlapStorm)).is_none());
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = shrink_failing_chaos(&failing_unhardened()).unwrap();
+        let b = shrink_failing_chaos(&failing_unhardened()).unwrap();
+        assert_eq!(a.config.plan_keep, b.config.plan_keep);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(
+            (a.config.iterations, a.config.data_bytes, a.config.ranks),
+            (b.config.iterations, b.config.data_bytes, b.config.ranks)
+        );
     }
 }

@@ -32,7 +32,10 @@ pub mod llm;
 pub mod permutation;
 
 pub use allreduce::{AllReduceJob, AllReduceReport, AllReduceRunner, BurstSchedule};
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosScenario, Verdict};
+pub use chaos::{
+    chaos_fails, run_chaos, shrink_failing_chaos, ChaosConfig, ChaosReport, ChaosScenario,
+    ShrunkChaos, Verdict,
+};
 pub use failures::{run_failure_timeline, FailureTimeline, FailureTimelineConfig};
 pub use incast::{run_incast, IncastConfig, IncastReport};
 pub use llm::{comm_ratios, CommRatios, LlmJobConfig, Placement, TrainingOutcome};

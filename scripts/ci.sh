@@ -53,6 +53,26 @@ if ! cmp -s "$trace_dir/TRACE_fig11.one.json" "$trace_dir/TRACE_fig11.json"; the
 fi
 rm -rf "$trace_dir"
 
+# Strict-check gate: run representative experiments under the
+# stellar-check invariant engine (`--check` opens a capture scope, so
+# every quiesce point in every layer evaluates its cross-layer
+# invariants). Any violation prints a sim-time-stamped report on stderr
+# and exits nonzero. stdout must stay byte-identical to an unchecked
+# run: the checks may observe, never perturb.
+checked="$(cargo run --release --offline -p stellar-bench --bin reproduce -- fig11 --quick --json --check)"
+if [ "$a" != "$checked" ]; then
+    echo "check gate: reproduce fig11 --json output changed under --check" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$checked") >&2 || true
+    exit 1
+fi
+cargo run --release --offline -p stellar-bench --bin reproduce -- chaos --quick --json --check >/dev/null
+
+# Golden-corpus gate: the recorded reproduce outputs under
+# crates/bench/tests/golden/ must match fresh runs byte-for-byte at one
+# worker and at eight (the golden tests run both internally).
+STELLAR_THREADS=1 cargo test -q --offline -p stellar-bench --test golden
+STELLAR_THREADS=8 cargo test -q --offline -p stellar-bench --test golden
+
 # Perf harness: archive the wall-clock/event report for this build. The
 # run doubles as a third determinism pass (--perf re-runs everything on
 # one worker and fails if any output byte differs, trace documents
