@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [<experiment>] [--quick] [--json] [--perf] [--trace] [--check] [--list]
 //!   experiments: fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//!                fig16 table1 claims timeline chaos all
+//!                fig16 table1 claims timeline chaos scale all
 //! ```
 //!
 //! `--quick` runs scaled-down configurations (seconds instead of
@@ -82,6 +82,7 @@ experiments![
     ("claims", claims),
     ("timeline", timeline),
     ("chaos", chaos),
+    ("scale", scale),
 ];
 
 /// Parsed command line.
@@ -294,7 +295,8 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "unknown experiment '{}'; expected one of: fig6 fig8 fig9 fig10 \
-             fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline chaos all",
+             fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline chaos \
+             scale all",
             args.which
         );
         std::process::exit(2);
@@ -421,7 +423,7 @@ mod tests {
             names,
             [
                 "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-                "fig15", "fig16", "table1", "claims", "timeline", "chaos"
+                "fig15", "fig16", "table1", "claims", "timeline", "chaos", "scale"
             ]
         );
     }

@@ -99,6 +99,16 @@ pub const INVARIANTS: &[InvariantSpec] = &[
         description: "bytes injected into the fabric == bytes delivered + bytes dropped",
     },
     InvariantSpec {
+        layer: Layer::Net,
+        name: "net.fluid_capacity",
+        description: "max-min fair-share allocations on every fluid constraint resource sum to <= its capacity, and every active flow holds a positive rate",
+    },
+    InvariantSpec {
+        layer: Layer::Net,
+        name: "net.fluid_flow_conservation",
+        description: "fluid flows opened == flows retired + flows active",
+    },
+    InvariantSpec {
         layer: Layer::Pcie,
         name: "pcie.tlp_completion_matching",
         description: "TLP route requests == P2P completions + RC completions + routing faults",

@@ -1,0 +1,311 @@
+//! The `Fabric` trait: one seam for every network model.
+//!
+//! The transport's event loop does not care whether a packet crosses a
+//! per-port calendar ([`Network`]), a max-min fluid allocation
+//! ([`crate::FluidFabric`]), or a mix of both ([`crate::HybridFabric`]) —
+//! it needs a send/deliver/advance/stats/fault surface. This trait is
+//! that surface. `TransportSim` and every workload driver are generic
+//! over it, with the packet-level `Network` as the default type
+//! parameter, so existing code keeps compiling (and keeps its exact
+//! byte-for-byte behaviour) while 10k+-rank jobs swap in a cheaper
+//! model.
+//!
+//! The contract every implementation must honour:
+//!
+//! * `send` is called with non-decreasing `now` (the DES guarantees it)
+//!   and must first apply any scheduled fault events at or before `now`.
+//! * The conservation ledgers balance at every quiesce point:
+//!   `injected == delivered + dropped`, packets and bytes alike
+//!   (`check_invariants` evaluates them under `stellar_check`).
+//! * Results are a pure function of `(topology, config, rng seed,
+//!   traffic)` — no wall clock, no iteration-order dependence.
+
+use stellar_sim::{SimDuration, SimTime};
+
+use crate::fault::FaultPlan;
+use crate::network::{Delivery, DropReason, LinkStats, Network, NetworkConfig, TraceRecord};
+use crate::topology::{ClosTopology, LinkId, NicId};
+
+/// Which fabric model a [`Fabric`] implementation is, for telemetry
+/// tags and experiment labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// Packet-level per-port calendar model ([`Network`]).
+    Packet,
+    /// Flow-level max-min fair-share fluid model
+    /// ([`crate::FluidFabric`]).
+    Fluid,
+    /// Contested traffic through the packet model, the rest through the
+    /// fluid model ([`crate::HybridFabric`]).
+    Hybrid,
+}
+
+impl FabricKind {
+    /// Stable snake_case name used in telemetry counters
+    /// (`fabric.<name>.*`) and experiment row labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            FabricKind::Packet => "packet",
+            FabricKind::Fluid => "fluid",
+            FabricKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// A network fabric model: the seam between the transport event loop
+/// and whatever carries its packets.
+pub trait Fabric {
+    /// Which model this is (telemetry tag / experiment label).
+    fn kind(&self) -> FabricKind;
+
+    /// The topology packets are routed over.
+    fn topology(&self) -> &ClosTopology;
+
+    /// The link configuration.
+    fn config(&self) -> &NetworkConfig;
+
+    /// The link configuration, mutable (tests tune knobs like
+    /// `bgp_convergence` without rebuilding the fabric).
+    fn config_mut(&mut self) -> &mut NetworkConfig;
+
+    /// Forward one packet of `bytes` from `src` to `dst` along the
+    /// route selected by `(flow, path_id)`, starting at `now`.
+    /// `now` must be non-decreasing across calls.
+    fn send(
+        &mut self,
+        now: SimTime,
+        src: NicId,
+        dst: NicId,
+        flow: u64,
+        path_id: u32,
+        bytes: u64,
+    ) -> Delivery;
+
+    /// Advance fabric-internal state to `now` without sending traffic:
+    /// apply scheduled fault events, expire idle flow bookkeeping.
+    /// `send` performs the same catch-up implicitly; this exists so an
+    /// event loop can advance fault state across traffic gaps (e.g.
+    /// before reading stats at an idle instant).
+    fn advance(&mut self, now: SimTime);
+
+    /// Install a fault schedule, replacing any previous plan.
+    fn install_fault_plan(&mut self, plan: FaultPlan);
+
+    /// Events of the installed plan not yet applied.
+    fn pending_fault_events(&self) -> usize;
+
+    /// Take a link down / bring it up (convergence clock starts at
+    /// `SimTime::ZERO`; use [`Fabric::set_link_state_at`] when a
+    /// timestamp is available).
+    fn set_link_up(&mut self, link: LinkId, up: bool);
+
+    /// Take a link down / bring it up at time `now`.
+    fn set_link_state_at(&mut self, now: SimTime, link: LinkId, up: bool);
+
+    /// Inject random loss with probability `p` on `link`.
+    fn set_loss(&mut self, link: LinkId, p: f64);
+
+    /// An unqueued reverse-path delivery estimate for tiny control
+    /// packets (ACK/NACK): hop delays plus serialization, no queueing.
+    fn control_rtt_component(&self, src: NicId, dst: NicId) -> SimDuration;
+
+    /// Fabric-wide drops attributed to `reason`.
+    fn drops_by_reason(&self, reason: DropReason) -> u64;
+
+    /// `(packets, bytes)` ever offered to [`Fabric::send`].
+    fn injected(&self) -> (u64, u64);
+
+    /// `(packets, bytes)` that reached their destination NIC.
+    fn delivered(&self) -> (u64, u64);
+
+    /// Statistics snapshot for a link at time `now`.
+    fn link_stats(&self, link: LinkId, now: SimTime) -> LinkStats;
+
+    /// Fig. 12 imbalance over the ToR→Agg uplinks of every ToR that
+    /// carried traffic (see [`Network::tor_uplink_imbalance`]).
+    fn tor_uplink_imbalance(&self) -> f64;
+
+    /// Aggregate queue statistics over all ToR uplinks at `now`:
+    /// `(mean of time-averaged backlog, max backlog)` in bytes.
+    fn tor_uplink_queue_stats(&self, now: SimTime) -> (f64, u64);
+
+    /// Record every packet (up to `limit` records) for offline
+    /// analysis.
+    fn enable_trace(&mut self, limit: usize);
+
+    /// Take the recorded trace, disabling tracing.
+    fn take_trace(&mut self) -> Vec<TraceRecord>;
+
+    /// Evaluate the fabric's conservation invariants at a quiesce point
+    /// (no-op unless a `stellar_check` scope is open).
+    fn check_invariants(&self, at: SimTime);
+}
+
+/// The packet-level calendar model is the reference [`Fabric`]: every
+/// method delegates to the inherent `Network` API unchanged, so routing
+/// `Network` through the trait is byte-identical to calling it
+/// directly.
+impl Fabric for Network {
+    fn kind(&self) -> FabricKind {
+        FabricKind::Packet
+    }
+
+    fn topology(&self) -> &ClosTopology {
+        Network::topology(self)
+    }
+
+    fn config(&self) -> &NetworkConfig {
+        Network::config(self)
+    }
+
+    fn config_mut(&mut self) -> &mut NetworkConfig {
+        Network::config_mut(self)
+    }
+
+    fn send(
+        &mut self,
+        now: SimTime,
+        src: NicId,
+        dst: NicId,
+        flow: u64,
+        path_id: u32,
+        bytes: u64,
+    ) -> Delivery {
+        Network::send(self, now, src, dst, flow, path_id, bytes)
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        Network::apply_faults(self, now)
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        Network::install_fault_plan(self, plan)
+    }
+
+    fn pending_fault_events(&self) -> usize {
+        Network::pending_fault_events(self)
+    }
+
+    fn set_link_up(&mut self, link: LinkId, up: bool) {
+        Network::set_link_up(self, link, up)
+    }
+
+    fn set_link_state_at(&mut self, now: SimTime, link: LinkId, up: bool) {
+        Network::set_link_state_at(self, now, link, up)
+    }
+
+    fn set_loss(&mut self, link: LinkId, p: f64) {
+        Network::set_loss(self, link, p)
+    }
+
+    fn control_rtt_component(&self, src: NicId, dst: NicId) -> SimDuration {
+        Network::control_rtt_component(self, src, dst)
+    }
+
+    fn drops_by_reason(&self, reason: DropReason) -> u64 {
+        Network::drops_by_reason(self, reason)
+    }
+
+    fn injected(&self) -> (u64, u64) {
+        Network::injected(self)
+    }
+
+    fn delivered(&self) -> (u64, u64) {
+        Network::delivered(self)
+    }
+
+    fn link_stats(&self, link: LinkId, now: SimTime) -> LinkStats {
+        Network::link_stats(self, link, now)
+    }
+
+    fn tor_uplink_imbalance(&self) -> f64 {
+        Network::tor_uplink_imbalance(self)
+    }
+
+    fn tor_uplink_queue_stats(&self, now: SimTime) -> (f64, u64) {
+        Network::tor_uplink_queue_stats(self, now)
+    }
+
+    fn enable_trace(&mut self, limit: usize) {
+        Network::enable_trace(self, limit)
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceRecord> {
+        Network::take_trace(self)
+    }
+
+    fn check_invariants(&self, at: SimTime) {
+        Network::check_invariants(self, at)
+    }
+}
+
+/// Fig. 12-style uplink imbalance from an arbitrary per-link byte-load
+/// function: `(max−min)/max` over the per-port loads of every ToR with
+/// at least one non-idle uplink. Shared by the fluid and hybrid fabrics
+/// (the packet model keeps its own identical implementation).
+pub(crate) fn uplink_imbalance_from(topo: &ClosTopology, tx_bytes: impl Fn(LinkId) -> u64) -> f64 {
+    use std::collections::HashMap;
+    let mut by_tor: HashMap<crate::topology::NodeId, Vec<f64>> = HashMap::new();
+    for l in topo.tor_uplinks() {
+        let (from, _) = topo.link_endpoints(l);
+        by_tor.entry(from).or_default().push(tx_bytes(l) as f64);
+    }
+    let loads: Vec<f64> = by_tor
+        .values()
+        .filter(|ports| ports.iter().any(|&b| b > 0.0))
+        .flatten()
+        .copied()
+        .collect();
+    let max = loads.iter().copied().fold(f64::MIN, f64::max);
+    if loads.is_empty() || max <= 0.0 {
+        return 0.0;
+    }
+    stellar_sim::stats::imbalance(&loads, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClosConfig;
+    use stellar_sim::SimRng;
+
+    fn net() -> Network {
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 4,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 4,
+        });
+        Network::new(topo, NetworkConfig::default(), SimRng::from_seed(7))
+    }
+
+    /// The trait is pure delegation: a send through `dyn`-free generic
+    /// dispatch must produce the identical `Delivery` (and ledger
+    /// state) as the inherent call on a twin network.
+    #[test]
+    fn packet_fabric_delegation_is_byte_identical() {
+        fn send_via_trait<F: Fabric>(f: &mut F, src: NicId, dst: NicId) -> Delivery {
+            f.send(SimTime::ZERO, src, dst, 1, 0, 4096)
+        }
+        let mut a = net();
+        let mut b = net();
+        let src = Network::topology(&a).nic(0, 0);
+        let dst = Network::topology(&a).nic(4, 0);
+        for i in 0..50 {
+            let via_trait = send_via_trait(&mut a, src, dst);
+            let direct = Network::send(&mut b, SimTime::ZERO, src, dst, 1, 0, 4096);
+            assert_eq!(via_trait, direct, "packet {i} diverged through the trait");
+        }
+        assert_eq!(Network::injected(&a), Network::injected(&b));
+        assert_eq!(Network::delivered(&a), Network::delivered(&b));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(FabricKind::Packet.name(), "packet");
+        assert_eq!(FabricKind::Fluid.name(), "fluid");
+        assert_eq!(FabricKind::Hybrid.name(), "hybrid");
+        assert_eq!(net().kind(), FabricKind::Packet);
+    }
+}

@@ -83,7 +83,7 @@ impl DropReason {
     }
 
     /// The telemetry hub counter name for this reason.
-    fn counter(self) -> &'static str {
+    pub(crate) fn counter(self) -> &'static str {
         match self {
             DropReason::BufferOverflow => "drop.buffer_overflow",
             DropReason::RandomLoss => "drop.random_loss",
@@ -147,19 +147,20 @@ impl Delivery {
     }
 }
 
-/// An active optical-degradation ramp on one link.
+/// An active optical-degradation ramp on one link. Shared with the
+/// fluid fabric, which models the same time-dependent loss.
 #[derive(Debug, Clone, Copy)]
-struct DegradeRamp {
-    t0: SimTime,
-    from: f64,
-    to: f64,
-    over: SimDuration,
+pub(crate) struct DegradeRamp {
+    pub(crate) t0: SimTime,
+    pub(crate) from: f64,
+    pub(crate) to: f64,
+    pub(crate) over: SimDuration,
 }
 
 impl DegradeRamp {
     /// Loss probability at time `t`: linear interpolation inside the
     /// window, clamped to the endpoints outside it.
-    fn loss_at(&self, t: SimTime) -> f64 {
+    pub(crate) fn loss_at(&self, t: SimTime) -> f64 {
         if t <= self.t0 {
             return self.from;
         }
@@ -391,6 +392,16 @@ impl Network {
                 });
             }
         }
+    }
+
+    /// Whether `link` is up (no fault has taken it down).
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.0 as usize].up
+    }
+
+    /// Flat random-loss probability currently injected on `link`.
+    pub fn link_loss(&self, link: LinkId) -> f64 {
+        self.links[link.0 as usize].loss_prob
     }
 
     /// Effective loss probability of a degrading link at `now` (zero when

@@ -1,7 +1,8 @@
 //! Property tests for topology routing and the link-calendar fabric.
 
 use stellar_net::{
-    ClosConfig, ClosTopology, Delivery, DropReason, FaultPlan, Network, NetworkConfig,
+    ClosConfig, ClosTopology, Delivery, DropReason, Fabric, FaultPlan, FluidConfig, FluidFabric,
+    Network, NetworkConfig,
 };
 use stellar_sim::proptest_lite::{check, Gen};
 use stellar_sim::{SimDuration, SimRng, SimTime};
@@ -213,6 +214,87 @@ fn planned_flap_up_restores_forwarding() {
         );
         let after = net.send(SimTime::from_nanos(down_at + down_for), src, dst, 1, 0, 64);
         assert!(after.arrival().is_some(), "after the up event: {after:?}");
+    });
+}
+
+/// Under arbitrary rail-aligned traffic on arbitrary topologies, the
+/// fluid model's fair-share allocations never oversubscribe any
+/// aggregate resource and every ledger balances — checked at every send
+/// via the `net.fluid_capacity` / conservation invariants, with
+/// violations escalated to panics by the strict scope.
+#[test]
+fn fluid_fair_share_never_oversubscribes() {
+    check("fluid_fair_share_never_oversubscribes", 48, |g| {
+        let topo = arb_topo(g);
+        let hosts = topo.total_hosts();
+        let rails = topo.config().rails;
+        let seed = g.u64(0, 1000);
+        let sends = g.vec(1, 120, |g| {
+            (g.usize(0, 1000), g.usize(0, 1000), g.u64(0, 40), g.u32(0, 256))
+        });
+        let mut fluid = FluidFabric::new(
+            topo,
+            NetworkConfig::default(),
+            FluidConfig::default(),
+            SimRng::from_seed(seed),
+        );
+        stellar_check::strict(|| {
+            let mut now_ns = 0u64;
+            for (a, b, flow, path) in sends {
+                now_ns += 50;
+                let rail = flow as usize % rails;
+                let src = fluid.topology().nic(a % hosts, rail);
+                let dst = fluid.topology().nic(b % hosts, rail);
+                if src == dst {
+                    continue;
+                }
+                let now = SimTime::from_nanos(now_ns);
+                fluid.send(now, src, dst, flow, path, 4096);
+                fluid.check_invariants(now);
+            }
+        });
+    });
+}
+
+/// Flow conservation across the full lifecycle: every flow the fluid
+/// model opens is either still active or retired once the fabric idles
+/// past the flow timeout — none leak, none double-retire.
+#[test]
+fn fluid_flows_conserve_through_retirement() {
+    check("fluid_flows_conserve_through_retirement", 64, |g| {
+        let topo = arb_topo(g);
+        let hosts = topo.total_hosts();
+        let rails = topo.config().rails;
+        let seed = g.u64(0, 1000);
+        let flows = g.vec(1, 30, |g| (g.usize(0, 1000), g.usize(0, 1000), g.u64(0, 40)));
+        let mut fluid = FluidFabric::new(
+            topo,
+            NetworkConfig::default(),
+            FluidConfig::default(),
+            SimRng::from_seed(seed),
+        );
+        stellar_check::strict(|| {
+            let mut sent = 0u64;
+            for &(a, b, flow) in &flows {
+                let rail = flow as usize % rails;
+                let src = fluid.topology().nic(a % hosts, rail);
+                let dst = fluid.topology().nic(b % hosts, rail);
+                if src == dst {
+                    continue;
+                }
+                fluid.send(SimTime::from_nanos(sent * 100), src, dst, flow, 0, 4096);
+                sent += 1;
+            }
+            let (opened, retired, active) = fluid.flow_ledger();
+            assert_eq!(opened, retired + active as u64, "mid-run ledger must balance");
+            // Idle long past the flow timeout: everything retires.
+            let idle = SimTime::from_nanos(sent * 100) + SimDuration::from_millis(10);
+            fluid.advance(idle);
+            let (opened, retired, active) = fluid.flow_ledger();
+            assert_eq!(active, 0, "idle fabric must retire every flow");
+            assert_eq!(opened, retired);
+            fluid.check_invariants(idle);
+        });
     });
 }
 

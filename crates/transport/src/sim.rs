@@ -7,7 +7,7 @@
 //! the [`App`] trait to chain dependent messages (ring AllReduce steps,
 //! bursty background jobs) causally inside the simulation.
 
-use stellar_net::{Delivery, Network, NicId};
+use stellar_net::{Delivery, Fabric, Network, NicId};
 use stellar_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use stellar_telemetry::{count, event, span_close, span_open, stage_sample, Entity, Stage, Subsystem};
 
@@ -83,14 +83,19 @@ impl Default for TransportConfig {
 }
 
 /// Workload hook: called when a message is fully received.
-pub trait App {
+///
+/// Generic over the [`Fabric`] the transport runs on (defaulting to the
+/// packet-level [`Network`], so `impl App for MyApp` keeps meaning what
+/// it always did). Workload apps that should run on any fabric
+/// implement `impl<F: Fabric> App<F> for MyApp`.
+pub trait App<F: Fabric = Network> {
     /// `msg` on `conn` completed at `sim.now()`. The app may post new
     /// messages via [`TransportSim::post_message`].
-    fn on_message_complete(&mut self, sim: &mut TransportSim, conn: ConnId, msg: MsgId);
+    fn on_message_complete(&mut self, sim: &mut TransportSim<F>, conn: ConnId, msg: MsgId);
 
     /// A timer scheduled via [`TransportSim::schedule_timer`] fired.
     /// Default: ignore. Used by on/off (bursty) workloads.
-    fn on_timer(&mut self, sim: &mut TransportSim, token: u64) {
+    fn on_timer(&mut self, sim: &mut TransportSim<F>, token: u64) {
         let _ = (sim, token);
     }
 
@@ -99,7 +104,7 @@ pub trait App {
     /// in-flight traffic was discarded and no further packets will flow.
     /// Default: ignore (the state is still queryable via
     /// [`TransportSim::conn_state`]).
-    fn on_connection_error(&mut self, sim: &mut TransportSim, conn: ConnId, error: FatalError) {
+    fn on_connection_error(&mut self, sim: &mut TransportSim<F>, conn: ConnId, error: FatalError) {
         let _ = (sim, conn, error);
     }
 }
@@ -108,8 +113,8 @@ pub trait App {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NoopApp;
 
-impl App for NoopApp {
-    fn on_message_complete(&mut self, _sim: &mut TransportSim, _conn: ConnId, _msg: MsgId) {}
+impl<F: Fabric> App<F> for NoopApp {
+    fn on_message_complete(&mut self, _sim: &mut TransportSim<F>, _conn: ConnId, _msg: MsgId) {}
 }
 
 #[derive(Debug)]
@@ -139,9 +144,15 @@ struct ConnRuntime {
 }
 
 /// The transport simulation: fabric + connections + event queue.
-pub struct TransportSim {
+///
+/// Generic over the [`Fabric`] carrying its packets; the default is the
+/// packet-level [`Network`], so plain `TransportSim` in signatures and
+/// tests keeps meaning the packet model. The event loop itself is
+/// fabric-agnostic: everything below `send`/`control_rtt_component`
+/// goes through the trait.
+pub struct TransportSim<F: Fabric = Network> {
     config: TransportConfig,
-    network: Network,
+    network: F,
     queue: EventQueue<Ev>,
     conns: Vec<ConnRuntime>,
     completions: Vec<(ConnId, MsgId)>,
@@ -149,9 +160,9 @@ pub struct TransportSim {
     rng: SimRng,
 }
 
-impl TransportSim {
+impl<F: Fabric> TransportSim<F> {
     /// Build a simulation over `network`.
-    pub fn new(network: Network, config: TransportConfig, rng: SimRng) -> Self {
+    pub fn new(network: F, config: TransportConfig, rng: SimRng) -> Self {
         TransportSim {
             config,
             network,
@@ -175,7 +186,7 @@ impl TransportSim {
     /// warm allocations: the clock restarts at zero and all connections
     /// are dropped, so a reset sim is observably identical to a fresh
     /// one.
-    pub fn reset(&mut self, network: Network, rng: SimRng) {
+    pub fn reset(&mut self, network: F, rng: SimRng) {
         self.network = network;
         self.queue.clear();
         self.conns.clear();
@@ -207,12 +218,12 @@ impl TransportSim {
     }
 
     /// The underlying fabric (stats, failure injection).
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &F {
         &self.network
     }
 
     /// The underlying fabric, mutable.
-    pub fn network_mut(&mut self) -> &mut Network {
+    pub fn network_mut(&mut self) -> &mut F {
         &mut self.network
     }
 
@@ -652,7 +663,7 @@ impl TransportSim {
 
     /// Process events until the queue drains or the next event is past
     /// `until`. Completion callbacks run in causal order.
-    pub fn run<A: App>(&mut self, app: &mut A, until: SimTime) {
+    pub fn run<A: App<F>>(&mut self, app: &mut A, until: SimTime) {
         loop {
             match self.queue.peek_time() {
                 Some(t) if t <= until => {}
@@ -684,7 +695,7 @@ impl TransportSim {
     }
 
     /// Run until every connection is idle (or `hard_stop` is reached).
-    pub fn run_to_idle<A: App>(&mut self, app: &mut A, hard_stop: SimTime) {
+    pub fn run_to_idle<A: App<F>>(&mut self, app: &mut A, hard_stop: SimTime) {
         self.run(app, hard_stop);
     }
 

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use stellar_net::NicId;
+use stellar_net::{Fabric, NicId};
 use stellar_sim::{SimDuration, SimTime};
 use stellar_transport::{App, ConnId, MsgId, TransportSim};
 
@@ -114,7 +114,7 @@ pub struct AllReduceRunner {
 
 impl AllReduceRunner {
     /// Create the runner and open every ring connection in `sim`.
-    pub fn new(sim: &mut TransportSim, jobs: Vec<AllReduceJob>) -> Self {
+    pub fn new<F: Fabric>(sim: &mut TransportSim<F>, jobs: Vec<AllReduceJob>) -> Self {
         let mut states = Vec::new();
         let mut by_conn = HashMap::new();
         for (j, job) in jobs.into_iter().enumerate() {
@@ -150,13 +150,13 @@ impl AllReduceRunner {
     }
 
     /// Kick off iteration 0 of every job.
-    pub fn start(&mut self, sim: &mut TransportSim) {
+    pub fn start<F: Fabric>(&mut self, sim: &mut TransportSim<F>) {
         for j in 0..self.jobs.len() {
             self.start_iteration(sim, j);
         }
     }
 
-    fn start_iteration(&mut self, sim: &mut TransportSim, j: usize) {
+    fn start_iteration<F: Fabric>(&mut self, sim: &mut TransportSim<F>, j: usize) {
         let st = &mut self.jobs[j];
         st.iter_started = sim.now();
         st.recv_steps.iter_mut().for_each(|s| *s = 0);
@@ -182,8 +182,8 @@ impl AllReduceRunner {
     }
 }
 
-impl App for AllReduceRunner {
-    fn on_message_complete(&mut self, sim: &mut TransportSim, conn: ConnId, _msg: MsgId) {
+impl<F: Fabric> App<F> for AllReduceRunner {
+    fn on_message_complete(&mut self, sim: &mut TransportSim<F>, conn: ConnId, _msg: MsgId) {
         let Some(&(j, rank)) = self.by_conn.get(&conn) else {
             return; // not ours (foreign traffic sharing the sim)
         };
@@ -225,7 +225,7 @@ impl App for AllReduceRunner {
         }
     }
 
-    fn on_timer(&mut self, sim: &mut TransportSim, token: u64) {
+    fn on_timer(&mut self, sim: &mut TransportSim<F>, token: u64) {
         let j = token as usize;
         if j < self.jobs.len() && !self.jobs[j].finished {
             self.start_iteration(sim, j);

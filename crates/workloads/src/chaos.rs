@@ -10,9 +10,8 @@
 //! a graceful-degradation [`Verdict`]. Everything is derived from
 //! simulated time and seeded randomness; wall clocks never appear.
 
-use stellar_net::{
-    ClosConfig, ClosTopology, DropReason, FaultPlan, LinkId, Network, NetworkConfig, NicId,
-};
+use stellar_net::fixture::packet_fabric;
+use stellar_net::{ClosConfig, DropReason, Fabric, FaultPlan, LinkId, Network, NetworkConfig, NicId};
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::{
     App, ConnId, FatalError, MsgId, PathAlgo, ScoreboardPolicy, TransportConfig, TransportSim,
@@ -178,38 +177,37 @@ struct ErrorWatch {
     errors: Vec<(ConnId, FatalError)>,
 }
 
-impl App for ErrorWatch {
-    fn on_message_complete(&mut self, sim: &mut TransportSim, conn: ConnId, msg: MsgId) {
+impl<F: Fabric> App<F> for ErrorWatch {
+    fn on_message_complete(&mut self, sim: &mut TransportSim<F>, conn: ConnId, msg: MsgId) {
         self.runner.on_message_complete(sim, conn, msg);
     }
-    fn on_timer(&mut self, sim: &mut TransportSim, token: u64) {
+    fn on_timer(&mut self, sim: &mut TransportSim<F>, token: u64) {
         self.runner.on_timer(sim, token);
     }
-    fn on_connection_error(&mut self, _sim: &mut TransportSim, conn: ConnId, error: FatalError) {
+    fn on_connection_error(&mut self, _sim: &mut TransportSim<F>, conn: ConnId, error: FatalError) {
         self.errors.push((conn, error));
     }
 }
 
 fn build_network(config: &ChaosConfig, rng: &SimRng) -> Network {
-    let topo = ClosTopology::build(ClosConfig {
-        segments: 2,
-        hosts_per_segment: config.ranks / 2,
-        rails: 1,
-        planes: 2,
-        aggs_per_plane: 60,
-    });
-    Network::new(
-        topo,
+    packet_fabric(
+        ClosConfig {
+            segments: 2,
+            hosts_per_segment: config.ranks / 2,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 60,
+        },
         NetworkConfig {
             bgp_convergence: config.bgp_convergence,
             ..NetworkConfig::default()
         },
-        rng.fork("net"),
+        rng,
     )
 }
 
 /// Ring alternating across segments so every edge crosses the agg layer.
-fn ring_nics(config: &ChaosConfig, sim: &TransportSim) -> Vec<NicId> {
+fn ring_nics<F: Fabric>(config: &ChaosConfig, sim: &TransportSim<F>) -> Vec<NicId> {
     (0..config.ranks)
         .map(|r| {
             let host = (r / 2) + (r % 2) * (config.ranks / 2);
@@ -242,7 +240,11 @@ fn build_sim(config: &ChaosConfig) -> (TransportSim, Vec<NicId>) {
 /// The distinct fabric links the ring's first connection can cross at its
 /// ToR→Agg hop — the storm's target set (faults that no path crosses
 /// would be theater, not chaos).
-fn uplinks_of_first_conn(sim: &TransportSim, nics: &[NicId], num_paths: u32) -> Vec<LinkId> {
+fn uplinks_of_first_conn<F: Fabric>(
+    sim: &TransportSim<F>,
+    nics: &[NicId],
+    num_paths: u32,
+) -> Vec<LinkId> {
     let topo = sim.network().topology();
     let mut links: Vec<LinkId> = (0..num_paths)
         .map(|p| topo.route(nics[0], nics[1], 0, p)[1])
@@ -258,9 +260,9 @@ fn scale(d: SimDuration, num: u64, den: u64) -> SimDuration {
     SimDuration::from_nanos((d.as_nanos() * num / den).max(1))
 }
 
-fn build_plan(
+fn build_plan<F: Fabric>(
     config: &ChaosConfig,
-    sim: &TransportSim,
+    sim: &TransportSim<F>,
     nics: &[NicId],
     iter_time: SimDuration,
 ) -> FaultPlan {
@@ -316,9 +318,9 @@ fn build_plan(
 
 /// The scenario's plan, filtered to the `plan_keep` subset when one is
 /// set (indices into the full plan's time-sorted event list).
-fn effective_plan(
+fn effective_plan<F: Fabric>(
     config: &ChaosConfig,
-    sim: &TransportSim,
+    sim: &TransportSim<F>,
     nics: &[NicId],
     iter_time: SimDuration,
 ) -> FaultPlan {

@@ -11,7 +11,8 @@
 //! aggregation link mid-run, and reports per-iteration bus bandwidth so
 //! the three phases are visible: healthy → RTO-bridged → rerouted.
 
-use stellar_net::{ClosConfig, ClosTopology, LinkId, Network, NetworkConfig, NicId};
+use stellar_net::fixture::packet_fabric;
+use stellar_net::{ClosConfig, Fabric, LinkId, NetworkConfig, NicId};
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::{App, ConnId, MsgId, PathAlgo, TransportConfig, TransportSim};
 
@@ -83,8 +84,8 @@ struct TimelineApp {
     failed_at: Option<SimTime>,
 }
 
-impl App for TimelineApp {
-    fn on_message_complete(&mut self, sim: &mut TransportSim, conn: ConnId, msg: MsgId) {
+impl<F: Fabric> App<F> for TimelineApp {
+    fn on_message_complete(&mut self, sim: &mut TransportSim<F>, conn: ConnId, msg: MsgId) {
         self.runner.on_message_complete(sim, conn, msg);
         // Kill the link the moment the configured iteration completes.
         if self.failed_at.is_none()
@@ -95,28 +96,36 @@ impl App for TimelineApp {
             self.failed_at = Some(now);
         }
     }
-    fn on_timer(&mut self, sim: &mut TransportSim, token: u64) {
+    fn on_timer(&mut self, sim: &mut TransportSim<F>, token: u64) {
         self.runner.on_timer(sim, token);
     }
 }
 
-/// Run the timeline.
+/// Run the timeline on the packet-level fabric.
 pub fn run_failure_timeline(config: &FailureTimelineConfig) -> FailureTimeline {
+    run_failure_timeline_with(config, packet_fabric)
+}
+
+/// Run the timeline on any [`Fabric`] (builder contract as in
+/// [`crate::run_permutation_with`]).
+pub fn run_failure_timeline_with<F: Fabric>(
+    config: &FailureTimelineConfig,
+    build: impl FnOnce(ClosConfig, NetworkConfig, &SimRng) -> F,
+) -> FailureTimeline {
     let rng = SimRng::from_seed(config.seed);
-    let topo = ClosTopology::build(ClosConfig {
-        segments: 2,
-        hosts_per_segment: config.ranks / 2,
-        rails: 1,
-        planes: 2,
-        aggs_per_plane: 60,
-    });
-    let network = Network::new(
-        topo,
+    let network = build(
+        ClosConfig {
+            segments: 2,
+            hosts_per_segment: config.ranks / 2,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 60,
+        },
         NetworkConfig {
             bgp_convergence: config.bgp_convergence,
             ..NetworkConfig::default()
         },
-        rng.fork("net"),
+        &rng,
     );
     let mut sim = TransportSim::new(
         network,

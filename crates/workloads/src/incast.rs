@@ -9,7 +9,8 @@
 //! receiver's downlink, and no path-selection algorithm can help; the CC
 //! must absorb it.
 
-use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig};
+use stellar_net::fixture::packet_fabric;
+use stellar_net::{ClosConfig, Fabric, NetworkConfig};
 use stellar_sim::{SimRng, SimTime};
 use stellar_transport::{ConnId, NoopApp, TransportConfig, TransportSim};
 
@@ -70,17 +71,25 @@ pub struct IncastReport {
     pub drops: u64,
 }
 
-/// Run an incast: `senders` hosts, all in the segment opposite the
-/// receiver, start transferring at t = 0.
+/// Run an incast on the packet-level fabric: `senders` hosts, all in
+/// the segment opposite the receiver, start transferring at t = 0.
 pub fn run_incast(config: &IncastConfig) -> IncastReport {
+    run_incast_with(config, packet_fabric)
+}
+
+/// Run an incast on any [`Fabric`] (builder contract as in
+/// [`crate::run_permutation_with`]).
+pub fn run_incast_with<F: Fabric>(
+    config: &IncastConfig,
+    build: impl FnOnce(ClosConfig, NetworkConfig, &SimRng) -> F,
+) -> IncastReport {
     let rng = SimRng::from_seed(config.seed);
-    let topo = ClosTopology::build(config.topology.clone());
-    let half = topo.total_hosts() / 2;
+    let network = build(config.topology.clone(), config.network.clone(), &rng);
+    let half = network.topology().total_hosts() / 2;
     assert!(
         config.senders <= half,
         "senders must fit in the far segment"
     );
-    let network = Network::new(topo, config.network.clone(), rng.fork("net"));
     let mut sim = TransportSim::new(network, config.transport.clone(), rng.fork("transport"));
 
     let receiver = sim.network().topology().nic(0, 0);

@@ -36,7 +36,15 @@ pub use chaos::{
     chaos_fails, run_chaos, shrink_failing_chaos, ChaosConfig, ChaosReport, ChaosScenario,
     ShrunkChaos, Verdict,
 };
-pub use failures::{run_failure_timeline, FailureTimeline, FailureTimelineConfig};
-pub use incast::{run_incast, IncastConfig, IncastReport};
-pub use llm::{comm_ratios, CommRatios, LlmJobConfig, Placement, TrainingOutcome};
-pub use permutation::{run_permutation, PermutationConfig, PermutationReport};
+pub use failures::{
+    run_failure_timeline, run_failure_timeline_with, FailureTimeline, FailureTimelineConfig,
+};
+pub use incast::{run_incast, run_incast_with, IncastConfig, IncastReport};
+pub use llm::{
+    comm_ratios, simulate_scale_training_step, simulate_training_step,
+    simulate_training_step_with, CommRatios, LlmJobConfig, Placement, ScaleTrainingConfig,
+    TrainingOutcome, TrainingSimConfig,
+};
+pub use permutation::{
+    run_permutation, run_permutation_with, PermutationConfig, PermutationReport,
+};

@@ -28,7 +28,8 @@
 //! baseline vs Stellar's 128-path spray). Step time combines the analytic
 //! compute term with the measured, partially-overlapped communication.
 
-use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
+use stellar_net::fixture::packet_fabric;
+use stellar_net::{ClosConfig, Fabric, NetworkConfig, NicId};
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::{PathAlgo, TransportConfig, TransportSim};
 
@@ -318,9 +319,18 @@ impl Default for TrainingSimConfig {
     }
 }
 
-/// Run one training step's DP communication on the fabric and combine it
-/// with the compute model.
+/// Run one training step's DP communication on the packet-level fabric
+/// and combine it with the compute model.
 pub fn simulate_training_step(config: &TrainingSimConfig) -> TrainingOutcome {
+    simulate_training_step_with(config, packet_fabric)
+}
+
+/// Run one training step's DP communication on any [`Fabric`] (builder
+/// contract as in [`crate::run_permutation_with`]).
+pub fn simulate_training_step_with<F: Fabric>(
+    config: &TrainingSimConfig,
+    build: impl FnOnce(ClosConfig, NetworkConfig, &SimRng) -> F,
+) -> TrainingOutcome {
     assert!(config.rings >= 1, "need at least one DP ring");
     let rng = SimRng::from_seed(config.seed);
     let total_hosts = config.ranks * config.rings;
@@ -331,8 +341,7 @@ pub fn simulate_training_step(config: &TrainingSimConfig) -> TrainingOutcome {
         planes: 2,
         aggs_per_plane: 16,
     };
-    let topo = ClosTopology::build(topo_cfg);
-    let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+    let network = build(topo_cfg, NetworkConfig::default(), &rng);
     let mut sim = TransportSim::new(
         network,
         TransportConfig {
@@ -369,6 +378,122 @@ pub fn simulate_training_step(config: &TrainingSimConfig) -> TrainingOutcome {
     sim.run(&mut runner, SimTime::from_nanos(u64::MAX / 2));
     // The step's communication phase ends when the slowest ring finishes.
     let comm = (0..config.rings)
+        .map(|j| {
+            let rep = runner.report(j);
+            assert_eq!(rep.iterations.len(), 1, "all-reduce must complete");
+            rep.iterations[0].duration()
+        })
+        .max()
+        .expect("at least one ring");
+
+    let hidden = comm.mul_f64(config.overlap);
+    let exposed = comm - hidden.min(comm);
+    TrainingOutcome {
+        compute: config.compute,
+        comm_network: comm,
+        comm_exposed: exposed,
+        step: config.compute + exposed,
+    }
+}
+
+/// Parameters of the `reproduce scale` 3D-parallel job: an explicit
+/// tp×pp×dp decomposition on an explicit (HPN7.0-sized) topology, one
+/// rank per RNIC. The DP rings — `tp × pp` of them, `dp` ranks each —
+/// run concurrently on the fabric, exactly the contention structure of a
+/// real 3D-parallel step's gradient all-reduce phase.
+#[derive(Debug, Clone)]
+pub struct ScaleTrainingConfig {
+    /// Fabric shape. Must provide at least `tp × pp × dp` RNICs.
+    pub topology: ClosConfig,
+    /// Tensor parallelism (intra-host in production; here it only sets
+    /// the ring count).
+    pub tp: usize,
+    /// Pipeline parallelism.
+    pub pp: usize,
+    /// Data parallelism = ranks per DP ring.
+    pub dp: usize,
+    /// All-reduce payload per rank.
+    pub data_bytes: u64,
+    /// Packet payload size. Scale runs use chunk-sized packets (one
+    /// packet per ring step) so the event count stays proportional to
+    /// messages, not bytes.
+    pub mtu: u64,
+    /// Scaled compute time per step.
+    pub compute: SimDuration,
+    /// Fraction of communication hidden under compute.
+    pub overlap: f64,
+    /// Transport algorithm.
+    pub algo: PathAlgo,
+    /// Paths per connection.
+    pub num_paths: u32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ScaleTrainingConfig {
+    /// Total ranks in the job.
+    pub fn ranks(&self) -> usize {
+        self.tp * self.pp * self.dp
+    }
+}
+
+/// Run one scaled training step's DP phase on any [`Fabric`] (builder
+/// contract as in [`crate::run_permutation_with`]).
+///
+/// Placement is reranked (each ring's ranks are contiguous RNICs on one
+/// rail — collective traffic is rail-aligned, cross-rail would need
+/// host-internal NVLink forwarding the fabric does not model), the
+/// regime the paper's Fig. 16 recommends and the only one a 10k+-rank
+/// job would deploy with. Ring `j` lives on rail `j % rails`, so the
+/// rings spread evenly over the rail planes.
+pub fn simulate_scale_training_step<F: Fabric>(
+    config: &ScaleTrainingConfig,
+    build: impl FnOnce(ClosConfig, NetworkConfig, &SimRng) -> F,
+) -> TrainingOutcome {
+    let rings = config.tp * config.pp;
+    assert!(rings >= 1, "need at least one DP ring");
+    assert!(config.dp >= 2, "a DP ring needs at least two ranks");
+    let rng = SimRng::from_seed(config.seed);
+    let rails = config.topology.rails;
+    let network = build(config.topology.clone(), NetworkConfig::default(), &rng);
+    let total_hosts = network.topology().total_hosts();
+    let hosts_needed = rings.div_ceil(rails) * config.dp;
+    assert!(
+        hosts_needed <= total_hosts,
+        "job needs {hosts_needed} hosts ({rings} rings × {} ranks over {rails} rails), \
+         topology has {total_hosts}",
+        config.dp
+    );
+    let mut sim = TransportSim::new(
+        network,
+        TransportConfig {
+            algo: config.algo,
+            num_paths: config.num_paths,
+            mtu: config.mtu,
+            ..TransportConfig::default()
+        },
+        rng.fork("transport"),
+    );
+
+    let jobs: Vec<AllReduceJob> = (0..rings)
+        .map(|j| {
+            let rail = j % rails;
+            let base = (j / rails) * config.dp;
+            let nics: Vec<NicId> = (0..config.dp)
+                .map(|k| sim.network().topology().nic(base + k, rail))
+                .collect();
+            AllReduceJob {
+                nics,
+                data_bytes: config.data_bytes,
+                iterations: 1,
+                burst: None,
+            }
+        })
+        .collect();
+    let mut runner = AllReduceRunner::new(&mut sim, jobs);
+    runner.start(&mut sim);
+    sim.run(&mut runner, SimTime::from_nanos(u64::MAX / 2));
+    let comm = (0..rings)
         .map(|j| {
             let rep = runner.report(j);
             assert_eq!(rep.iterations.len(), 1, "all-reduce must complete");

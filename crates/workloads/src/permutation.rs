@@ -7,7 +7,8 @@
 //! the run duration; the report captures the ToR-uplink queue statistics
 //! that Fig. 9 plots (average and maximum depth) plus per-flow goodput.
 
-use stellar_net::{ClosConfig, ClosTopology, Network, NetworkConfig};
+use stellar_net::fixture::packet_fabric;
+use stellar_net::{ClosConfig, Fabric, NetworkConfig};
 use stellar_sim::{SimRng, SimTime};
 use stellar_transport::{App, ConnId, MsgId, TransportConfig, TransportSim};
 
@@ -78,10 +79,10 @@ struct PacedInjector {
     stop_at: SimTime,
 }
 
-impl App for PacedInjector {
-    fn on_message_complete(&mut self, _sim: &mut TransportSim, _conn: ConnId, _msg: MsgId) {}
+impl<F: Fabric> App<F> for PacedInjector {
+    fn on_message_complete(&mut self, _sim: &mut TransportSim<F>, _conn: ConnId, _msg: MsgId) {}
 
-    fn on_timer(&mut self, sim: &mut TransportSim, token: u64) {
+    fn on_timer(&mut self, sim: &mut TransportSim<F>, token: u64) {
         let conn = self.conns[token as usize];
         sim.post_message(conn, self.message_bytes);
         let next = sim.now() + self.interval;
@@ -91,13 +92,22 @@ impl App for PacedInjector {
     }
 }
 
-/// Run the permutation experiment.
+/// Run the permutation experiment on the packet-level fabric.
 pub fn run_permutation(config: &PermutationConfig) -> PermutationReport {
+    run_permutation_with(config, packet_fabric)
+}
+
+/// Run the permutation experiment on any [`Fabric`]. `build` receives
+/// the configured topology, link model, and root RNG (fork `"net"` for
+/// the fabric's stream — the fixture constructors do).
+pub fn run_permutation_with<F: Fabric>(
+    config: &PermutationConfig,
+    build: impl FnOnce(ClosConfig, NetworkConfig, &SimRng) -> F,
+) -> PermutationReport {
     let rng = SimRng::from_seed(config.seed);
-    let topo = ClosTopology::build(config.topology.clone());
-    let hosts = topo.total_hosts();
     let rails = config.topology.rails;
-    let network = Network::new(topo, config.network.clone(), rng.fork("net"));
+    let network = build(config.topology.clone(), config.network.clone(), &rng);
+    let hosts = network.topology().total_hosts();
     // Application-limited flows pace at their offered rate (the RNIC's
     // hardware rate limiter), so arrivals are smooth, not window bursts.
     let mut transport = config.transport.clone();

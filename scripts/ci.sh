@@ -14,6 +14,21 @@ cargo clippy --offline --workspace -- -D warnings
 # verdicts (and the unhardened counterfactual must keep failing).
 cargo run --release --offline -p stellar-bench --bin reproduce -- chaos --quick >/dev/null
 
+# Hybrid-fabric scale gate: the 16k-rank 3D-parallel job and the
+# HPN-scale permutation must complete, and — like every experiment —
+# the table must be byte-identical on one worker and eight. (The
+# fig9/fig16 hybrid-vs-packet tolerance asserts run in the workspace
+# test suite above; the experiment's events/sec lands in
+# BENCH_reproduce.json via the --perf pass below, which covers the
+# whole registry.)
+scale_one="$(STELLAR_THREADS=1 cargo run --release --offline -p stellar-bench --bin reproduce -- scale --quick --json)"
+scale_many="$(STELLAR_THREADS=8 cargo run --release --offline -p stellar-bench --bin reproduce -- scale --quick --json)"
+if [ "$scale_one" != "$scale_many" ]; then
+    echo "scale gate: reproduce scale --json differs between 1 and 8 workers" >&2
+    diff <(printf '%s\n' "$scale_one") <(printf '%s\n' "$scale_many") >&2 || true
+    exit 1
+fi
+
 # Determinism gate: the same figure must serialize byte-identically on
 # consecutive runs — any divergence means wall-clock or unseeded
 # randomness leaked into an experiment.

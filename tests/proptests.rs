@@ -1,7 +1,10 @@
 //! Cross-crate property-based tests (proptest_lite) on the invariants
 //! DESIGN.md commits to.
 
-use stellar::net::{ClosConfig, ClosTopology, Network, NetworkConfig, NicId};
+use stellar::net::fixture::{fluid_fabric, hybrid_fabric};
+use stellar::net::{
+    ClosConfig, ClosTopology, FluidConfig, HybridConfig, Network, NetworkConfig, NicId,
+};
 use stellar::pcie::addr::{Gpa, Hpa, PAGE_4K};
 use stellar::pcie::iommu::{Iommu, IommuConfig};
 use stellar::pcie::Iova;
@@ -138,6 +141,47 @@ fn allreduce_always_converges() {
         assert_eq!(rep.iterations.len(), 2);
         // Iterations are properly ordered in time.
         assert!(rep.iterations[0].finished <= rep.iterations[1].started);
+    });
+}
+
+/// The fluid and hybrid fabrics are deterministic across worker-thread
+/// counts: a permutation run produces a bit-identical report whether
+/// the process-wide work pool is pinned to 1 or 8 threads (the fabric
+/// itself is single-threaded state, so pool size must be invisible).
+#[test]
+fn fluid_and_hybrid_reports_ignore_thread_count() {
+    use stellar::workloads::{run_permutation_with, PermutationConfig};
+    use stellar_sim::par::with_thread_override;
+    check("fluid_and_hybrid_reports_ignore_thread_count", 6, |g| {
+        let seed = g.u64(0, 1000);
+        let cfg = PermutationConfig {
+            topology: ClosConfig {
+                segments: 2,
+                hosts_per_segment: 4,
+                rails: 2,
+                planes: 2,
+                aggs_per_plane: 4,
+            },
+            message_bytes: 128 * 1024,
+            offered_gbps: 40.0,
+            duration: stellar_sim::SimDuration::from_micros(300),
+            seed,
+            ..PermutationConfig::default()
+        };
+        let fluid_1 = with_thread_override(1, || {
+            run_permutation_with(&cfg, |t, n, r| fluid_fabric(t, n, FluidConfig::default(), r))
+        });
+        let fluid_8 = with_thread_override(8, || {
+            run_permutation_with(&cfg, |t, n, r| fluid_fabric(t, n, FluidConfig::default(), r))
+        });
+        assert_eq!(format!("{fluid_1:?}"), format!("{fluid_8:?}"));
+        let hybrid_1 = with_thread_override(1, || {
+            run_permutation_with(&cfg, |t, n, r| hybrid_fabric(t, n, HybridConfig::default(), r))
+        });
+        let hybrid_8 = with_thread_override(8, || {
+            run_permutation_with(&cfg, |t, n, r| hybrid_fabric(t, n, HybridConfig::default(), r))
+        });
+        assert_eq!(format!("{hybrid_1:?}"), format!("{hybrid_8:?}"));
     });
 }
 
