@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [<experiment>] [--quick] [--json] [--perf] [--trace] [--check] [--list]
 //!   experiments: fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//!                fig16 table1 claims timeline chaos scale all
+//!                fig16 table1 claims timeline chaos scale recovery all
 //! ```
 //!
 //! `--quick` runs scaled-down configurations (seconds instead of
@@ -83,6 +83,7 @@ experiments![
     ("timeline", timeline),
     ("chaos", chaos),
     ("scale", scale),
+    ("recovery", recovery),
 ];
 
 /// Parsed command line.
@@ -296,7 +297,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{}'; expected one of: fig6 fig8 fig9 fig10 \
              fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline chaos \
-             scale all",
+             scale recovery all",
             args.which
         );
         std::process::exit(2);
@@ -423,7 +424,8 @@ mod tests {
             names,
             [
                 "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-                "fig15", "fig16", "table1", "claims", "timeline", "chaos", "scale"
+                "fig15", "fig16", "table1", "claims", "timeline", "chaos", "scale",
+                "recovery"
             ]
         );
     }

@@ -24,6 +24,7 @@ pub mod fig13_micro;
 pub mod fig14_gdr;
 pub mod fig15_virt;
 pub mod fig16_llm;
+pub mod recovery;
 pub mod scale;
 pub mod table1_comm;
 pub mod timeline;

@@ -79,6 +79,49 @@ roundtrip_tests![
     chaos_rows_roundtrip => chaos,
 ];
 
+/// `recovery::run(true)` drives a 4 096-rank fleet — debug-profile
+/// tests pin the row schema on a hand-built row instead (the run itself
+/// is exercised in release by `reproduce recovery --quick` in CI).
+#[test]
+fn recovery_rows_serialize_with_fields() {
+    let row = b::recovery::Row {
+        scenario: "recovery",
+        fabric: "packet",
+        ranks: 8,
+        recoveries: 12,
+        replayed: 2880,
+        p50_ms: 4.12,
+        p99_ms: 32.12,
+        max_ms: 32.12,
+        dip_rel: 0.0,
+        restore_rel: 1.06,
+        exactly_once: "ok",
+        verdict: "degraded",
+    };
+    let vals = to_json(&[row]);
+    assert_eq!(vals.len(), 1);
+    for field in [
+        "scenario", "fabric", "ranks", "recoveries", "replayed", "p50_ms", "p99_ms",
+        "max_ms", "dip_rel", "restore_rel", "exactly_once", "verdict",
+    ] {
+        assert!(vals[0].get(field).is_some(), "missing field {field}");
+    }
+    assert_roundtrip("recovery", &[b::recovery::Row {
+        scenario: "no-recovery",
+        fabric: "packet",
+        ranks: 8,
+        recoveries: 0,
+        replayed: 0,
+        p50_ms: -1.0,
+        p99_ms: -1.0,
+        max_ms: -1.0,
+        dip_rel: -1.0,
+        restore_rel: -1.0,
+        exactly_once: "violated",
+        verdict: "transport_error",
+    }]);
+}
+
 #[test]
 fn fig6_rows_serialize_with_fields() {
     let rows = b::fig06_startup::run(true);

@@ -109,6 +109,11 @@ pub const INVARIANTS: &[InvariantSpec] = &[
         description: "fluid flows opened == flows retired + flows active",
     },
     InvariantSpec {
+        layer: Layer::Net,
+        name: "net.blacklist_readmit",
+        description: "every blacklisted path and quarantined plane carries a bounded readmission deadline — nothing is blacklisted forever",
+    },
+    InvariantSpec {
         layer: Layer::Pcie,
         name: "pcie.tlp_completion_matching",
         description: "TLP route requests == P2P completions + RC completions + routing faults",
@@ -152,6 +157,11 @@ pub const INVARIANTS: &[InvariantSpec] = &[
         layer: Layer::Transport,
         name: "transport.idle_quiescence",
         description: "an idle connection holds no unsent or in-flight packets and a zero in-flight gauge",
+    },
+    InvariantSpec {
+        layer: Layer::Transport,
+        name: "transport.recovery_exactly_once",
+        description: "across any number of recoveries, receiver bitmaps count each packet once: placed packets == delivered packets, completions == completed bitmaps, and no bitmap overfills",
     },
     InvariantSpec {
         layer: Layer::Telemetry,

@@ -346,6 +346,60 @@ impl VStellarStack {
         // Four control verbs (create + 3 modifies), one round trip each.
         Ok((qp, self.control_latency.mul(4)))
     }
+
+    /// Destroy `device` and bring up its replacement on the same RNIC —
+    /// the vStellar lifecycle a recovering connection pays when the
+    /// virtual device itself churns (host driver restart, device error,
+    /// container reschedule). The replacement re-registers every MR in
+    /// `mrs`, with the PVDMA re-pin cost charged through the normal
+    /// on-demand pinning path, and connects a fresh ready-to-send QP.
+    ///
+    /// The returned [`DeviceChurn::elapsed`] — destroy + ~1.5 s create +
+    /// Σ re-register + QP bring-up — is the `reestablish` figure a
+    /// transport `RecoveryPolicy` should charge when recovery includes
+    /// device lifecycle churn rather than a bare QP reconnect
+    /// (DESIGN.md §11).
+    pub fn churn_device(
+        &self,
+        server: &mut StellarServer,
+        device: VStellarDevice,
+        mrs: &[(Gva, u64)],
+    ) -> Result<DeviceChurn, VStellarError> {
+        let container = device.container;
+        let rnic = device.rnic;
+        self.destroy_device(server, device)?;
+        // Destroy is itself one control round trip.
+        let mut elapsed = self.control_latency;
+        let (new_device, create_time) = self.create_device(server, container, rnic)?;
+        elapsed += create_time;
+        let mut keys = Vec::with_capacity(mrs.len());
+        for &(gva, len) in mrs {
+            let (key, t) = self.register_mr_host(server, &new_device, gva, len)?;
+            keys.push(key);
+            elapsed += t;
+        }
+        let (qp, t) = self.create_qp(server, &new_device)?;
+        elapsed += t;
+        Ok(DeviceChurn {
+            device: new_device,
+            qp,
+            mrs: keys,
+            elapsed,
+        })
+    }
+}
+
+/// Outcome of a [`VStellarStack::churn_device`] cycle.
+#[derive(Debug)]
+pub struct DeviceChurn {
+    /// The replacement device.
+    pub device: VStellarDevice,
+    /// Its ready-to-send QP.
+    pub qp: stellar_rnic::verbs::QpId,
+    /// Re-registered MR keys, in request order.
+    pub mrs: Vec<MrKey>,
+    /// Total lifecycle time: destroy + create + re-register + QP.
+    pub elapsed: SimDuration,
 }
 
 #[cfg(test)]
@@ -510,6 +564,33 @@ mod tests {
         let (dev, _) = stack.create_device(&mut server, c, RnicId(0)).unwrap();
         let err = stack.register_mr_host(&mut server, &dev, Gva(0), 2 * MB);
         assert!(matches!(err, Err(VStellarError::PvdmaRequired)));
+    }
+
+    #[test]
+    fn device_churn_costs_a_device_lifecycle_and_comes_back_live() {
+        let (mut server, stack, c) = rig();
+        let (dev, create_t) = stack.create_device(&mut server, c, RnicId(0)).unwrap();
+        stack
+            .register_mr_host(&mut server, &dev, Gva(4 * MB), 4 * MB)
+            .unwrap();
+        let churn = stack
+            .churn_device(&mut server, dev, &[(Gva(4 * MB), 4 * MB)])
+            .unwrap();
+        // Churn is dominated by the ~1.5 s device creation, plus the
+        // destroy round trip, the MR re-registration, and QP bring-up.
+        assert!(churn.elapsed > create_t, "churn={} create={create_t}", churn.elapsed);
+        assert!(
+            (1.4..3.0).contains(&churn.elapsed.as_secs_f64()),
+            "churn={}",
+            churn.elapsed
+        );
+        // Exactly one live device remains, and it serves traffic through
+        // the re-registered MR.
+        assert_eq!(server.rnic(RnicId(0)).vdevs.counts().2, 1);
+        let rep = stack
+            .write(&mut server, &churn.device, churn.qp, churn.mrs[0], Gva(4 * MB), MB)
+            .unwrap();
+        assert_eq!(rep.bytes, MB);
     }
 
     #[test]

@@ -99,6 +99,12 @@ impl MessageState {
         self.received_count == self.total_packets
     }
 
+    /// Whether packet `idx` has landed at the receiver.
+    pub fn is_received(&self, idx: u64) -> bool {
+        assert!(idx < self.total_packets, "packet index out of range");
+        self.received[(idx / 64) as usize] & (1 << (idx % 64)) != 0
+    }
+
     /// Packets landed so far.
     pub fn received_count(&self) -> u64 {
         self.received_count
@@ -164,6 +170,11 @@ pub enum ConnState {
     /// Transmitting normally.
     #[default]
     Active,
+    /// The QP was torn down after a fatal transport error and a
+    /// re-establishment is pending (recovery policy is active). The
+    /// connection sends nothing until the reconnect fires; unacked
+    /// messages will be replayed from the receiver bitmap.
+    Recovering,
     /// Terminal error — the transport gave up (see
     /// [`Connection::fatal`]); no further packets are sent or accepted.
     Error,
@@ -190,6 +201,11 @@ pub struct ConnStats {
     pub acks: u64,
     /// Two-sided sends rejected with RNR (no receive posted).
     pub rnr_naks: u64,
+    /// Completed connection recoveries (teardown → re-establish).
+    pub recoveries: u64,
+    /// Packets re-queued from incomplete receiver bitmaps at
+    /// re-establishment (exactly the not-yet-received indices).
+    pub replayed_packets: u64,
 }
 
 impl ConnStats {
@@ -204,6 +220,8 @@ impl ConnStats {
         self.ecn_acks += other.ecn_acks;
         self.acks += other.acks;
         self.rnr_naks += other.rnr_naks;
+        self.recoveries += other.recoveries;
+        self.replayed_packets += other.replayed_packets;
     }
 }
 
@@ -249,6 +267,12 @@ pub struct Connection {
     pub state: ConnState,
     /// The error that killed the connection, if any.
     pub fatal: Option<FatalError>,
+    /// Consecutive recovery attempts since the last successful ACK
+    /// (drives the reconnect backoff; an ACK proves the new QP works and
+    /// resets the ladder).
+    pub recovery_attempts: u32,
+    /// When the in-progress recovery began (teardown time), if any.
+    pub recovering_since: Option<SimTime>,
     next_seq: u64,
     next_msg: u64,
 }
@@ -268,6 +292,8 @@ impl Connection {
             stats: ConnStats::default(),
             state: ConnState::Active,
             fatal: None,
+            recovery_attempts: 0,
+            recovering_since: None,
             next_seq: 0,
             next_msg: 0,
         }
@@ -341,6 +367,52 @@ impl Connection {
     /// Whether nothing remains to send or await.
     pub fn is_idle(&self) -> bool {
         self.unsent.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Rebuild the send queue from the receiver bitmaps after a QP
+    /// re-establishment: every packet of every incomplete message that
+    /// has not landed is re-queued, in `(message, index)` order. Returns
+    /// the number of packets queued.
+    ///
+    /// This is the exactly-once replay. Indices already set in the
+    /// bitmap are skipped — the receiver keeps its partial state across
+    /// the re-establishment (DPP writes packets straight to their memory
+    /// slots, so landed data survives the QP) — and a replayed packet
+    /// racing a late original is absorbed idempotently by
+    /// [`MessageState::place_packet`].
+    pub fn replay_unacked(&mut self, mtu: u64) -> u64 {
+        debug_assert!(
+            self.unsent.is_empty() && self.inflight.is_empty(),
+            "replay requires a drained connection"
+        );
+        let mut msgs: Vec<MsgId> = self
+            .messages
+            .iter()
+            .filter(|(_, m)| m.completed_at.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        msgs.sort_unstable();
+        let mut queued = 0;
+        for id in msgs {
+            let m = &self.messages[&id];
+            for idx in 0..m.total_packets {
+                if m.is_received(idx) {
+                    continue;
+                }
+                let chunk = if idx == m.total_packets - 1 {
+                    m.bytes - idx * mtu
+                } else {
+                    mtu
+                };
+                self.unsent.push_back(PendingPacket {
+                    msg: id,
+                    idx,
+                    bytes: chunk,
+                });
+                queued += 1;
+            }
+        }
+        queued
     }
 }
 
@@ -475,6 +547,8 @@ mod tests {
             ecn_acks: 7,
             acks: 8,
             rnr_naks: 9,
+            recoveries: 10,
+            replayed_packets: 11,
         };
         let total: ConnStats = [a, a, a].into_iter().sum();
         assert_eq!(total.sent_packets, 3);
@@ -486,6 +560,30 @@ mod tests {
         assert_eq!(total.ecn_acks, 21);
         assert_eq!(total.acks, 24);
         assert_eq!(total.rnr_naks, 27);
+        assert_eq!(total.recoveries, 30);
+        assert_eq!(total.replayed_packets, 33);
+    }
+
+    #[test]
+    fn replay_requeues_exactly_the_missing_indices() {
+        let mut c = conn();
+        let id = c.post_message(SimTime::ZERO, 10_000, 4096); // 3 packets
+        c.unsent.clear(); // simulate all packets in flight, then drained
+        c.messages.get_mut(&id).unwrap().place_packet(1);
+        let queued = c.replay_unacked(4096);
+        assert_eq!(queued, 2);
+        let idxs: Vec<u64> = c.unsent.iter().map(|p| p.idx).collect();
+        assert_eq!(idxs, vec![0, 2]);
+        // Byte sizes match the original segmentation (tail included).
+        let sizes: Vec<u64> = c.unsent.iter().map(|p| p.bytes).collect();
+        assert_eq!(sizes, vec![4096, 1808]);
+        // A completed message is never replayed.
+        let m = c.messages.get_mut(&id).unwrap();
+        m.place_packet(0);
+        m.place_packet(2);
+        m.completed_at = Some(SimTime::ZERO);
+        c.unsent.clear();
+        assert_eq!(c.replay_unacked(4096), 0);
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod sim;
 
 pub use cc::{CcConfig, CongestionControl};
 pub use conn::{ConnId, ConnState, ConnStats, FatalError, MsgId, SendError};
-pub use path::{PathAlgo, PathSelector, ScoreboardPolicy};
-pub use sim::{App, NoopApp, TransportConfig, TransportSim};
+pub use path::{PathAlgo, PathSelector, PlaneFailover, ScoreboardPolicy};
+pub use sim::{App, NoopApp, RecoveryPolicy, TransportConfig, TransportSim};

@@ -70,6 +70,39 @@ impl Default for ScoreboardPolicy {
     }
 }
 
+/// Plane-level failover policy (the dual-plane HPN7.0 shape, §3). A
+/// NIC-port or rail failure kills *every* path hashed onto one plane at
+/// once; per-path blacklists expire after [`ScoreboardPolicy::penalty`] —
+/// long before routing reconverges — so an unaided scoreboard keeps
+/// re-probing the dead plane with live traffic. Plane failover aggregates
+/// the scoreboard: once a majority of a plane's paths are simultaneously
+/// blacklisted, the whole plane is quarantined for `readmit_after`
+/// (sized to the fabric's `recovery_time`), migrating every flow to the
+/// surviving plane. The quarantine expiring *is* the readmission probe:
+/// the next packets hash back onto the plane and either ACK — clearing
+/// all scoreboard state — or blacklist it again. Any ACK on one of the
+/// plane's paths readmits it early.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneFailover {
+    /// Number of network planes; path id `p` maps to plane `p % planes`
+    /// (mirroring the fabric's ECMP entropy → plane hash). `0` disables
+    /// plane failover entirely.
+    pub planes: u32,
+    /// Quarantine duration: how long a failed plane sits out before a
+    /// readmission probe. Size this to the fabric's routing
+    /// `recovery_time` (BGP convergence), not the per-path penalty.
+    pub readmit_after: SimDuration,
+}
+
+impl Default for PlaneFailover {
+    fn default() -> Self {
+        PlaneFailover {
+            planes: 2,
+            readmit_after: SimDuration::from_millis(5),
+        }
+    }
+}
+
 /// Observed state of one path.
 #[derive(Debug, Clone)]
 pub struct PathState {
@@ -117,6 +150,13 @@ pub struct PathSelector {
     /// Latest `blacklisted_until` ever set — lets the healthy fast path
     /// skip the blacklist scan (and its extra RNG draws) entirely.
     max_blacklist_until: SimTime,
+    /// Plane failover policy; `planes == 0` means disabled (the default).
+    failover: PlaneFailover,
+    /// Per-plane quarantine deadlines (empty while failover is disabled).
+    plane_quarantine_until: Vec<SimTime>,
+    /// Latest quarantine deadline ever set — same fast-path trick as
+    /// `max_blacklist_until`, so healthy runs never scan the planes.
+    max_quarantine_until: SimTime,
 }
 
 impl PathSelector {
@@ -134,6 +174,12 @@ impl PathSelector {
             recycled: Vec::new(),
             scoreboard: ScoreboardPolicy::default(),
             max_blacklist_until: SimTime::ZERO,
+            failover: PlaneFailover {
+                planes: 0,
+                readmit_after: SimDuration::ZERO,
+            },
+            plane_quarantine_until: Vec::new(),
+            max_quarantine_until: SimTime::ZERO,
         }
     }
 
@@ -145,6 +191,57 @@ impl PathSelector {
     /// The loss-scoreboard policy in use.
     pub fn scoreboard(&self) -> ScoreboardPolicy {
         self.scoreboard
+    }
+
+    /// Enable plane-level failover (disabled by default). Resets any
+    /// existing quarantine state.
+    pub fn set_plane_failover(&mut self, policy: PlaneFailover) {
+        self.plane_quarantine_until = vec![SimTime::ZERO; policy.planes as usize];
+        self.max_quarantine_until = SimTime::ZERO;
+        self.failover = policy;
+    }
+
+    /// The plane-failover policy in use (`planes == 0` ⇒ disabled).
+    pub fn plane_failover(&self) -> PlaneFailover {
+        self.failover
+    }
+
+    /// The plane path id `path` hashes onto (`path % planes`). Only
+    /// meaningful while plane failover is enabled.
+    pub fn plane_of(&self, path: u32) -> u32 {
+        debug_assert!(self.failover.planes > 0, "plane failover disabled");
+        path % self.failover.planes
+    }
+
+    /// Whether `plane` is quarantined at `now`.
+    pub fn is_plane_quarantined(&self, plane: u32, now: SimTime) -> bool {
+        self.failover.planes > 0 && self.plane_quarantine_until[plane as usize] > now
+    }
+
+    /// Number of planes quarantined at `now`.
+    pub fn quarantined_planes(&self, now: SimTime) -> usize {
+        self.plane_quarantine_until
+            .iter()
+            .filter(|&&q| q > now)
+            .count()
+    }
+
+    /// Structural check backing the `net.blacklist_readmit` invariant:
+    /// every blacklist and quarantine deadline visible at `at` must sit
+    /// within its policy horizon — nothing may be exiled forever. The
+    /// deadlines are always written as `now + penalty` / `now +
+    /// readmit_after`, so any deadline beyond `at + horizon` means state
+    /// was corrupted or a policy changed under live exile state.
+    pub fn readmission_bounded(&self, at: SimTime) -> bool {
+        let blacklist_horizon = at + self.scoreboard.penalty;
+        let quarantine_horizon = at + self.failover.readmit_after;
+        self.paths
+            .iter()
+            .all(|p| p.blacklisted_until <= blacklist_horizon)
+            && self
+                .plane_quarantine_until
+                .iter()
+                .all(|&q| q <= quarantine_horizon)
     }
 
     /// Whether `path` is blacklisted at `now`.
@@ -200,13 +297,20 @@ impl PathSelector {
         exclude: Option<u32>,
         allowed: &dyn Fn(u32) -> bool,
     ) -> Option<u32> {
-        // Healthy fast path: no active blacklist, no extra RNG draws —
-        // keeps fault-free runs byte-identical to the unhardened selector.
-        if self.max_blacklist_until > now && self.paths.len() > 1 {
+        // Healthy fast path: no active blacklist or quarantine, no extra
+        // RNG draws — keeps fault-free runs byte-identical to the
+        // unhardened selector.
+        if (self.max_blacklist_until > now || self.max_quarantine_until > now)
+            && self.paths.len() > 1
+        {
             let mut mask = [0u64; 4];
             let mut any = false;
             for (i, st) in self.paths.iter().enumerate() {
-                if st.blacklisted_until > now {
+                let quarantined = self.failover.planes > 0
+                    && self.plane_quarantine_until
+                        [(i as u32 % self.failover.planes) as usize]
+                        > now;
+                if st.blacklisted_until > now || quarantined {
                     mask[i / 64] |= 1 << (i % 64);
                     any = true;
                 }
@@ -395,6 +499,11 @@ impl PathSelector {
         if self.algo == PathAlgo::PathAware && !ecn && self.recycled.len() < 256 {
             self.recycled.push(path);
         }
+        // An ACK proves the plane forwards again: readmit it early.
+        if self.failover.planes > 0 {
+            self.plane_quarantine_until[(path % self.failover.planes) as usize] =
+                SimTime::ZERO;
+        }
         let st = &mut self.paths[path as usize];
         st.inflight_packets = st.inflight_packets.saturating_sub(1);
         // An ACK proves the path forwards again: clear the scoreboard.
@@ -446,6 +555,48 @@ impl PathSelector {
             if st.blacklisted_until > self.max_blacklist_until {
                 self.max_blacklist_until = st.blacklisted_until;
             }
+            if self.failover.planes > 0 {
+                self.maybe_quarantine_plane(now, path);
+            }
+        }
+    }
+
+    /// Escalate a path blacklist to a plane quarantine once a majority of
+    /// the plane's paths are simultaneously blacklisted.
+    fn maybe_quarantine_plane(&mut self, now: SimTime, path: u32) {
+        let planes = self.failover.planes;
+        let plane = path % planes;
+        if self.plane_quarantine_until[plane as usize] > now {
+            return; // already quarantined
+        }
+        let mut total = 0u32;
+        let mut blacklisted = 0u32;
+        for (i, st) in self.paths.iter().enumerate() {
+            if i as u32 % planes == plane {
+                total += 1;
+                if st.blacklisted_until > now {
+                    blacklisted += 1;
+                }
+            }
+        }
+        if u64::from(blacklisted) * 2 > u64::from(total) {
+            let until = now + self.failover.readmit_after;
+            self.plane_quarantine_until[plane as usize] = until;
+            if until > self.max_quarantine_until {
+                self.max_quarantine_until = until;
+            }
+            stellar_telemetry::count(
+                stellar_telemetry::Subsystem::Transport,
+                "scoreboard.plane_quarantine",
+                1,
+            );
+            stellar_telemetry::event(
+                now,
+                stellar_telemetry::Subsystem::Transport,
+                stellar_telemetry::Entity::Path(plane),
+                "plane_quarantine",
+                u64::from(blacklisted),
+            );
         }
     }
 
@@ -770,5 +921,94 @@ mod tests {
                 a.on_ack(pa.unwrap(), SimDuration::from_micros(5), false);
             }
         }
+    }
+
+    /// Blacklist `path` at `now` via consecutive losses.
+    fn blacklist(s: &mut PathSelector, now: SimTime, path: u32) {
+        for _ in 0..s.scoreboard().blacklist_after {
+            s.on_loss_at(now, path);
+        }
+        assert!(s.is_blacklisted(path, now));
+    }
+
+    #[test]
+    fn plane_failover_quarantines_dead_plane_and_steers_to_survivor() {
+        let mut s = selector(PathAlgo::Obs, 8);
+        s.set_plane_failover(PlaneFailover {
+            planes: 2,
+            readmit_after: SimDuration::from_millis(5),
+        });
+        let now = SimTime::from_nanos(1_000);
+        // Plane 1 owns odd path ids. Blacklisting 3 of its 4 paths is a
+        // majority: the whole plane quarantines, including path 7 which
+        // never lost a packet itself.
+        blacklist(&mut s, now, 1);
+        assert!(!s.is_plane_quarantined(1, now), "minority must not trip");
+        blacklist(&mut s, now, 3);
+        blacklist(&mut s, now, 5);
+        assert!(s.is_plane_quarantined(1, now));
+        assert!(!s.is_plane_quarantined(0, now));
+        assert_eq!(s.quarantined_planes(now), 1);
+        for _ in 0..100 {
+            let p = s.select_at(now, None, &ALL).unwrap();
+            assert_eq!(p % 2, 0, "flow must migrate to the surviving plane");
+        }
+        // Quarantine outlives the per-path penalty: at penalty expiry the
+        // plane is still out (otherwise traffic re-probes the dead plane
+        // long before routing reconverges)...
+        let after_penalty = now + s.scoreboard().penalty + SimDuration::from_nanos(1);
+        assert_eq!(s.blacklisted_count(after_penalty), 0);
+        assert!(s.is_plane_quarantined(1, after_penalty));
+        // ...and the quarantine expiring is the readmission probe.
+        let readmitted = now + SimDuration::from_millis(5) + SimDuration::from_nanos(1);
+        assert!(!s.is_plane_quarantined(1, readmitted));
+        assert!(s.readmission_bounded(now));
+        assert!(s.readmission_bounded(readmitted));
+    }
+
+    #[test]
+    fn ack_readmits_quarantined_plane_early() {
+        let mut s = selector(PathAlgo::Obs, 8);
+        s.set_plane_failover(PlaneFailover::default());
+        let now = SimTime::from_nanos(1_000);
+        for p in [1u32, 3, 5] {
+            blacklist(&mut s, now, p);
+        }
+        assert!(s.is_plane_quarantined(1, now));
+        // A probe packet on path 7 comes back clean: plane 1 readmitted.
+        s.on_ack(7, SimDuration::from_micros(10), false);
+        assert!(!s.is_plane_quarantined(1, now));
+        assert_eq!(s.quarantined_planes(now), 0);
+    }
+
+    #[test]
+    fn fully_quarantined_selector_falls_back_instead_of_stalling() {
+        let mut s = selector(PathAlgo::Obs, 4);
+        s.set_plane_failover(PlaneFailover::default());
+        let now = SimTime::from_nanos(1_000);
+        for p in 0..4 {
+            blacklist(&mut s, now, p);
+        }
+        assert_eq!(s.quarantined_planes(now), 2);
+        assert!(
+            s.select_at(now, None, &ALL).is_some(),
+            "both planes dead must still pick something"
+        );
+    }
+
+    #[test]
+    fn plane_failover_disabled_or_idle_draws_identical_rng_stream() {
+        // Enabling plane failover must not perturb a healthy run: the
+        // quarantine scan is gated on max_quarantine_until exactly like
+        // the blacklist mask, so selections stay byte-identical.
+        let mut a = selector(PathAlgo::Obs, 64);
+        let mut b = selector(PathAlgo::Obs, 64);
+        b.set_plane_failover(PlaneFailover::default());
+        let now = SimTime::from_nanos(100);
+        for i in 0..500u64 {
+            let t = now + SimDuration::from_nanos(i);
+            assert_eq!(a.select_at(t, None, &ALL), b.select_at(t, None, &ALL));
+        }
+        assert!(b.readmission_bounded(now));
     }
 }

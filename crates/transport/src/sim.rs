@@ -52,6 +52,12 @@ pub struct TransportConfig {
     pub retry_budget: u32,
     /// Loss-scoreboard policy for path blacklisting.
     pub scoreboard: crate::path::ScoreboardPolicy,
+    /// Plane-level failover for the path scoreboard. `None` (the
+    /// default) keeps per-path blacklisting only; `Some` quarantines a
+    /// whole plane once a majority of its paths are blacklisted at once,
+    /// migrating flows to the surviving plane until a readmission probe
+    /// after [`PlaneFailover::readmit_after`](crate::path::PlaneFailover).
+    pub plane_failover: Option<crate::path::PlaneFailover>,
     /// Congestion-control parameters.
     pub cc: CcConfig,
     /// §9 ablation: one congestion-control context per path instead of a
@@ -62,6 +68,13 @@ pub struct TransportConfig {
     /// RNIC's hardware rate limiter / DMA feed (application-limited flows
     /// pace at their offered rate).
     pub pace_gbps: Option<f64>,
+    /// Failure recovery policy. `None` (the default) keeps the
+    /// pre-recovery behaviour: a fatal error is terminal. `Some` turns
+    /// fatal errors into a teardown → backoff → re-establish → replay
+    /// cycle (DESIGN.md §11); fault-free runs are byte-identical either
+    /// way because the recovery path draws no RNG and schedules no
+    /// events until a failure actually occurs.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for TransportConfig {
@@ -75,10 +88,70 @@ impl Default for TransportConfig {
             rto_max: SimDuration::from_millis(4),
             retry_budget: 16,
             scoreboard: crate::path::ScoreboardPolicy::default(),
+            plane_failover: None,
             cc: CcConfig::default(),
             per_path_cc: false,
             pace_gbps: None,
+            recovery: None,
         }
+    }
+}
+
+/// Failure recovery policy: what the transport does when a connection
+/// hits a fatal error (retry budget exhausted) instead of dying.
+///
+/// The cycle is: drain in-flight state and tear down the QP, wait an
+/// exponentially backed-off reconnect delay plus the re-establishment
+/// cost, then rebuild the send queue from the receiver bitmaps — exactly
+/// the packets that never landed — and resume with a fresh congestion
+/// context. Consecutive failures (no ACK between them) climb the backoff
+/// ladder; [`max_attempts`] consecutive failures make the error terminal.
+///
+/// [`max_attempts`]: RecoveryPolicy::max_attempts
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Consecutive failed recovery attempts (no successful ACK in
+    /// between) before the connection is declared terminally dead.
+    pub max_attempts: u32,
+    /// Base reconnect delay before the first re-establishment.
+    pub backoff: SimDuration,
+    /// Exponential multiplier applied per consecutive attempt; `1.0`
+    /// disables the ladder.
+    pub backoff_mult: f64,
+    /// Upper bound on the backed-off reconnect delay.
+    pub backoff_max: SimDuration,
+    /// QP re-establishment cost paid after the backoff delay: four
+    /// control verbs (~120 µs) for a bare QP, or the full ~1.5 s+
+    /// vStellar device destroy→recreate lifecycle when the virtual
+    /// device itself churns (see `stellar_core::vstellar`).
+    pub reestablish: SimDuration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 16,
+            backoff: SimDuration::from_millis(1),
+            backoff_mult: 2.0,
+            backoff_max: SimDuration::from_millis(100),
+            reestablish: SimDuration::from_micros(120),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Total teardown→re-establish delay for consecutive attempt
+    /// `attempt` (0-based): `min(backoff × backoff_mult^attempt,
+    /// backoff_max) + reestablish`.
+    pub fn reconnect_delay(&self, attempt: u32) -> SimDuration {
+        let base = if self.backoff_mult <= 1.0 || attempt == 0 {
+            self.backoff
+        } else {
+            let scaled =
+                self.backoff.as_nanos() as f64 * self.backoff_mult.powi(attempt as i32);
+            SimDuration::from_nanos(scaled.min(self.backoff_max.as_nanos() as f64) as u64)
+        };
+        base + self.reestablish
     }
 }
 
@@ -107,6 +180,19 @@ pub trait App<F: Fabric = Network> {
     fn on_connection_error(&mut self, sim: &mut TransportSim<F>, conn: ConnId, error: FatalError) {
         let _ = (sim, conn, error);
     }
+
+    /// `conn` finished a recovery cycle: its QP was re-established after
+    /// being down for `downtime` and every unacked packet was re-queued
+    /// (exactly-once replay from the receiver bitmap). Only fires when a
+    /// [`RecoveryPolicy`] is configured. Default: ignore.
+    fn on_connection_recovered(
+        &mut self,
+        sim: &mut TransportSim<F>,
+        conn: ConnId,
+        downtime: SimDuration,
+    ) {
+        let _ = (sim, conn, downtime);
+    }
 }
 
 /// An [`App`] that does nothing (open-loop workloads).
@@ -129,6 +215,9 @@ enum Ev {
     Pace { conn: ConnId },
     /// Application-scheduled timer.
     AppTimer { token: u64 },
+    /// Recovery reconnect timer: re-establish the connection's QP and
+    /// replay unacked traffic.
+    Reconnect { conn: ConnId },
 }
 
 struct ConnRuntime {
@@ -157,6 +246,7 @@ pub struct TransportSim<F: Fabric = Network> {
     conns: Vec<ConnRuntime>,
     completions: Vec<(ConnId, MsgId)>,
     errors: Vec<(ConnId, FatalError)>,
+    recovered: Vec<(ConnId, SimDuration)>,
     rng: SimRng,
 }
 
@@ -173,6 +263,7 @@ impl<F: Fabric> TransportSim<F> {
             conns: Vec::new(),
             completions: Vec::new(),
             errors: Vec::new(),
+            recovered: Vec::new(),
             rng,
         }
     }
@@ -192,6 +283,7 @@ impl<F: Fabric> TransportSim<F> {
         self.conns.clear();
         self.completions.clear();
         self.errors.clear();
+        self.recovered.clear();
         self.rng = rng;
     }
 
@@ -242,6 +334,9 @@ impl<F: Fabric> TransportSim<F> {
             self.rng.fork_idx("conn", id.0 as u64),
         );
         selector.set_scoreboard(self.config.scoreboard);
+        if let Some(failover) = self.config.plane_failover {
+            selector.set_plane_failover(failover);
+        }
         self.conns.push(ConnRuntime {
             conn: Connection::new(id, src, dst),
             selector,
@@ -306,17 +401,36 @@ impl<F: Fabric> TransportSim<F> {
         self.conns[conn.0 as usize].conn.state
     }
 
-    /// The fatal error that killed `conn`, if it is in the error state.
+    /// The fatal error that killed `conn`, if it is **terminally**
+    /// failed. A connection mid-recovery has no fatal error — the
+    /// teardown is transient and [`Connection::fatal`] stays `None`
+    /// until the recovery budget is exhausted.
     pub fn conn_error(&self, conn: ConnId) -> Option<FatalError> {
         self.conns[conn.0 as usize].conn.fatal
     }
 
-    /// Number of connections in the terminal error state.
-    pub fn error_count(&self) -> usize {
+    /// Number of connections terminally failed ([`ConnState::Error`]).
+    /// Connections mid-recovery ([`ConnState::Recovering`]) are **not**
+    /// counted — see [`TransportSim::recovering_count`].
+    pub fn failed_connections(&self) -> usize {
         self.conns
             .iter()
             .filter(|c| c.conn.state == ConnState::Error)
             .count()
+    }
+
+    /// Number of connections currently torn down awaiting a reconnect.
+    pub fn recovering_count(&self) -> usize {
+        self.conns
+            .iter()
+            .filter(|c| c.conn.state == ConnState::Recovering)
+            .count()
+    }
+
+    /// Number of connections in the terminal error state (alias of
+    /// [`TransportSim::failed_connections`]).
+    pub fn error_count(&self) -> usize {
+        self.failed_connections()
     }
 
     /// The path selector of a connection (distribution inspection).
@@ -375,23 +489,87 @@ impl<F: Fabric> TransportSim<F> {
         SimDuration::from_nanos(capped as u64)
     }
 
-    /// Tear down `conn` with a fatal error: discard queued and in-flight
-    /// traffic (stale Deliver/Ack/Rto events become no-ops) and queue the
-    /// [`App::on_connection_error`] callback.
+    /// Tear down `conn` after a fatal error. Without a
+    /// [`RecoveryPolicy`] (or once its attempt budget is spent) the
+    /// error is terminal: queued and in-flight traffic is discarded
+    /// (stale Deliver/Ack/Rto events become no-ops) and the
+    /// [`App::on_connection_error`] callback is queued. With a policy
+    /// and attempts remaining, the connection enters
+    /// [`ConnState::Recovering`] instead: the same teardown drain, but a
+    /// reconnect is scheduled after the backed-off delay and nothing is
+    /// reported as an error.
     fn fail_connection(&mut self, conn_id: ConnId, error: FatalError) {
         let now = self.now();
+        let policy = self.config.recovery.clone();
         let rt = &mut self.conns[conn_id.0 as usize];
-        if rt.conn.state == ConnState::Error {
+        if rt.conn.state != ConnState::Active {
             return;
+        }
+        rt.conn.unsent.clear();
+        rt.conn.inflight.clear();
+        rt.conn.inflight_bytes = 0;
+        if let Some(policy) = policy {
+            if rt.conn.recovery_attempts < policy.max_attempts {
+                let attempt = rt.conn.recovery_attempts;
+                rt.conn.recovery_attempts += 1;
+                rt.conn.state = ConnState::Recovering;
+                rt.conn.recovering_since = Some(now);
+                count(Subsystem::Transport, "conn.recovering", 1);
+                event(
+                    now,
+                    Subsystem::Transport,
+                    Entity::Conn(conn_id.0),
+                    "recovering",
+                    u64::from(attempt),
+                );
+                let at = now + policy.reconnect_delay(attempt);
+                self.queue.schedule(at, Ev::Reconnect { conn: conn_id });
+                return;
+            }
         }
         count(Subsystem::Transport, "conn.fatal", 1);
         event(now, Subsystem::Transport, Entity::Conn(conn_id.0), "fatal", 0);
         rt.conn.state = ConnState::Error;
         rt.conn.fatal = Some(error);
-        rt.conn.unsent.clear();
-        rt.conn.inflight.clear();
-        rt.conn.inflight_bytes = 0;
         self.errors.push((conn_id, error));
+    }
+
+    /// A scheduled reconnect fired: re-establish the QP, rebuild the
+    /// send queue from the receiver bitmaps (exactly-once replay — only
+    /// the indices that never landed), reset the congestion context (a
+    /// fresh QP does not inherit the old window), and resume pumping.
+    fn handle_reconnect(&mut self, conn_id: ConnId) {
+        let now = self.now();
+        let mtu = self.config.mtu;
+        let rt = &mut self.conns[conn_id.0 as usize];
+        if rt.conn.state != ConnState::Recovering {
+            return;
+        }
+        let downtime = now.saturating_duration_since(
+            rt.conn
+                .recovering_since
+                .expect("recovering connection records its teardown time"),
+        );
+        rt.conn.state = ConnState::Active;
+        rt.conn.recovering_since = None;
+        let replayed = rt.conn.replay_unacked(mtu);
+        rt.conn.stats.recoveries += 1;
+        rt.conn.stats.replayed_packets += replayed;
+        for cc in rt.ccs.iter_mut() {
+            *cc = CongestionControl::new(self.config.cc.clone());
+        }
+        rt.pace_until = SimTime::ZERO;
+        count(Subsystem::Transport, "conn.recovery", 1);
+        count(Subsystem::Transport, "packet.replayed", replayed);
+        event(
+            now,
+            Subsystem::Transport,
+            Entity::Conn(conn_id.0),
+            "recovered",
+            replayed,
+        );
+        self.recovered.push((conn_id, downtime));
+        self.pump(conn_id);
     }
 
     fn cc_index(&self, conn: ConnId, path: u32) -> usize {
@@ -413,7 +591,7 @@ impl<F: Fabric> TransportSim<F> {
         let pace = self.config.pace_gbps;
         loop {
             let rt = &mut self.conns[conn_id.0 as usize];
-            if rt.conn.state == ConnState::Error {
+            if rt.conn.state != ConnState::Active {
                 break;
             }
             let Some(&pkt) = rt.conn.unsent.front() else {
@@ -549,6 +727,9 @@ impl<F: Fabric> TransportSim<F> {
             path = pkt.path;
             bytes = pkt.bytes;
             rtt = now.saturating_duration_since(pkt.sent_at);
+            // A delivered+acked packet proves the connection works:
+            // reset the consecutive-recovery backoff ladder.
+            rt.conn.recovery_attempts = 0;
             rt.conn.stats.acks += 1;
             count(Subsystem::Transport, "ack", 1);
             stage_sample(Stage::TransportRtt, rtt);
@@ -679,12 +860,16 @@ impl<F: Fabric> TransportSim<F> {
                     self.pump(conn);
                 }
                 Ev::AppTimer { token } => app.on_timer(self, token),
+                Ev::Reconnect { conn } => self.handle_reconnect(conn),
             }
             while let Some((c, m)) = pop_front(&mut self.completions) {
                 app.on_message_complete(self, c, m);
             }
             while let Some((c, e)) = pop_front(&mut self.errors) {
                 app.on_connection_error(self, c, e);
+            }
+            while let Some((c, d)) = pop_front(&mut self.recovered) {
+                app.on_connection_recovered(self, c, d);
             }
         }
         // Returning from `run` is a quiesce point: nothing is mid-event,
@@ -739,12 +924,51 @@ impl<F: Fabric> TransportSim<F> {
                         && st.ecn_acks <= st.acks,
                     || format!("conn {id}: counters out of balance: {st:?}"),
                 );
+                // Exactly-once across any number of recoveries: the
+                // receiver bitmaps count each packet exactly once, so
+                // their population must equal the deduplicated delivered
+                // counter (a replayed duplicate that slipped past the
+                // bitmap would inflate it), completion flags must match
+                // the completion counter, and — at a drained queue with
+                // the connection alive — nothing may be lost: every
+                // posted message has a full bitmap.
+                let placed: u64 = conn.messages.values().map(|m| m.received_count()).sum();
+                let completed = conn
+                    .messages
+                    .values()
+                    .filter(|m| m.completed_at.is_some())
+                    .count() as u64;
+                let no_loss = !drained
+                    || conn.state != ConnState::Active
+                    || conn.messages.values().all(|m| m.completed_at.is_some());
+                c.check(
+                    "transport.recovery_exactly_once",
+                    placed == st.delivered_packets
+                        && completed == st.completed_messages
+                        && no_loss,
+                    || {
+                        format!(
+                            "conn {id}: bitmap placements {placed} vs delivered {}, \
+                             completed bitmaps {completed} vs counter {}, lost messages: {}",
+                            st.delivered_packets,
+                            st.completed_messages,
+                            conn.messages
+                                .values()
+                                .filter(|m| m.completed_at.is_none())
+                                .count()
+                        )
+                    },
+                );
                 // With the event queue drained nothing can make further
                 // progress, so every connection must be at rest: idle if
-                // Active, fully torn down if Error.
+                // Active, fully torn down if Error — and never stuck in
+                // Recovering (a pending reconnect is a queued event, so
+                // a drained queue with a Recovering connection means the
+                // reconnect was lost).
                 if drained {
                     let at_rest = conn.unsent.is_empty()
                         && conn.inflight.is_empty()
+                        && conn.state != ConnState::Recovering
                         && (conn.state == ConnState::Active || conn.inflight_bytes == 0);
                     c.check("transport.idle_quiescence", at_rest, || {
                         format!(
@@ -756,6 +980,25 @@ impl<F: Fabric> TransportSim<F> {
                         )
                     });
                 }
+            }
+        });
+        // The path layer's readmission law is a Net-layer invariant (it
+        // governs which fabric paths traffic may use), issued from here
+        // because the selectors live with the connections.
+        stellar_check::at_quiesce(at, stellar_check::Layer::Net, |c| {
+            for rt in &self.conns {
+                let id = rt.conn.id.0;
+                let sel = &rt.selector;
+                c.check(
+                    "net.blacklist_readmit",
+                    sel.readmission_bounded(at),
+                    || {
+                        format!(
+                            "conn {id}: a blacklisted path or quarantined plane has an \
+                             unbounded readmission deadline (exiled forever)"
+                        )
+                    },
+                );
             }
         });
         self.network.check_invariants(at);
@@ -1366,6 +1609,231 @@ mod tests {
             dead.run(&mut NoopApp, FOREVER);
             assert_eq!(dead.conn_state(conn), ConnState::Error);
         });
+    }
+
+    /// The full recovery cycle: an unreachable peer trips the retry
+    /// budget, the connection tears down and recovers (repeatedly, up
+    /// the backoff ladder) until a timer restores the links — then the
+    /// replay delivers every remaining byte exactly once.
+    #[test]
+    fn recovery_reestablishes_and_replays_exactly_once() {
+        stellar_check::strict(|| {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 2,
+                hosts_per_segment: 4,
+                rails: 1,
+                planes: 2,
+                aggs_per_plane: 8,
+            });
+            let rng = SimRng::from_seed(9);
+            let net_cfg = NetworkConfig {
+                bgp_convergence: SimDuration::from_millis(10_000),
+                ..NetworkConfig::default()
+            };
+            let network = Network::new(topo, net_cfg, rng.fork("net"));
+            let mut sim = TransportSim::new(
+                network,
+                TransportConfig {
+                    algo: PathAlgo::Obs,
+                    num_paths: 32,
+                    retry_budget: 6,
+                    recovery: Some(RecoveryPolicy::default()),
+                    ..TransportConfig::default()
+                },
+                rng.fork("t"),
+            );
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(4, 0);
+            let conn = sim.add_connection(src, dst);
+            let mut dead_links = Vec::new();
+            for plane in 0..2 {
+                let (up, down) = sim.network().topology().nic_port_links(dst, plane);
+                sim.network_mut().set_link_up(up, false);
+                sim.network_mut().set_link_up(down, false);
+                dead_links.push(up);
+                dead_links.push(down);
+            }
+            struct Restore {
+                links: Vec<stellar_net::LinkId>,
+                recoveries: u32,
+                errors: u32,
+                min_downtime: SimDuration,
+            }
+            impl App for Restore {
+                fn on_message_complete(&mut self, _s: &mut TransportSim, _c: ConnId, _m: MsgId) {}
+                fn on_timer(&mut self, sim: &mut TransportSim, _t: u64) {
+                    let now = sim.now();
+                    for &l in &self.links {
+                        sim.network_mut().set_link_state_at(now, l, true);
+                    }
+                }
+                fn on_connection_error(&mut self, _s: &mut TransportSim, _c: ConnId, _e: FatalError) {
+                    self.errors += 1;
+                }
+                fn on_connection_recovered(
+                    &mut self,
+                    _s: &mut TransportSim,
+                    _c: ConnId,
+                    downtime: SimDuration,
+                ) {
+                    self.recoveries += 1;
+                    if downtime < self.min_downtime {
+                        self.min_downtime = downtime;
+                    }
+                }
+            }
+            let msg = sim.post_message(conn, 64 * 1024);
+            sim.schedule_timer(SimTime::from_nanos(20_000_000), 0); // 20 ms
+            let mut app = Restore {
+                links: dead_links,
+                recoveries: 0,
+                errors: 0,
+                min_downtime: SimDuration::from_nanos(u64::MAX),
+            };
+            sim.run(&mut app, FOREVER);
+
+            assert!(sim.message_completed_at(conn, msg).is_some(), "message survives");
+            assert_eq!(sim.conn_state(conn), ConnState::Active);
+            assert_eq!(sim.failed_connections(), 0);
+            assert_eq!(sim.recovering_count(), 0);
+            assert_eq!(app.errors, 0, "recovery must absorb the fatal error");
+            let st = sim.conn_stats(conn);
+            assert!(app.recoveries >= 1, "at least one recovery cycle ran");
+            assert_eq!(u64::from(app.recoveries), st.recoveries);
+            assert!(st.replayed_packets >= 16, "the 16-packet message was replayed");
+            // Exactly once: every byte delivered once, no duplicates
+            // counted, exactly one completion.
+            assert_eq!(st.delivered_bytes, 64 * 1024);
+            assert_eq!(st.delivered_packets, 16);
+            assert_eq!(st.completed_messages, 1);
+            // Downtime includes at least the base reconnect delay.
+            assert!(
+                app.min_downtime >= RecoveryPolicy::default().reconnect_delay(0),
+                "downtime {:?} below the reconnect delay",
+                app.min_downtime
+            );
+            assert!(sim.all_idle());
+        });
+    }
+
+    /// Exhausting `max_attempts` consecutive recoveries makes the error
+    /// terminal: the app sees `on_connection_error`, not an infinite
+    /// reconnect loop.
+    #[test]
+    fn recovery_budget_exhaustion_is_terminal() {
+        let topo = ClosTopology::build(ClosConfig {
+            segments: 2,
+            hosts_per_segment: 4,
+            rails: 1,
+            planes: 2,
+            aggs_per_plane: 8,
+        });
+        let rng = SimRng::from_seed(9);
+        let net_cfg = NetworkConfig {
+            bgp_convergence: SimDuration::from_millis(10_000),
+            ..NetworkConfig::default()
+        };
+        let network = Network::new(topo, net_cfg, rng.fork("net"));
+        let mut sim = TransportSim::new(
+            network,
+            TransportConfig {
+                algo: PathAlgo::Obs,
+                num_paths: 32,
+                retry_budget: 6,
+                recovery: Some(RecoveryPolicy {
+                    max_attempts: 2,
+                    ..RecoveryPolicy::default()
+                }),
+                ..TransportConfig::default()
+            },
+            rng.fork("t"),
+        );
+        let src = sim.network().topology().nic(0, 0);
+        let dst = sim.network().topology().nic(4, 0);
+        let conn = sim.add_connection(src, dst);
+        for plane in 0..2 {
+            let (up, down) = sim.network().topology().nic_port_links(dst, plane);
+            sim.network_mut().set_link_up(up, false);
+            sim.network_mut().set_link_up(down, false);
+        }
+        struct Watch {
+            errors: u32,
+            recoveries: u32,
+        }
+        impl App for Watch {
+            fn on_message_complete(&mut self, _s: &mut TransportSim, _c: ConnId, _m: MsgId) {}
+            fn on_connection_error(&mut self, _s: &mut TransportSim, _c: ConnId, _e: FatalError) {
+                self.errors += 1;
+            }
+            fn on_connection_recovered(
+                &mut self,
+                _s: &mut TransportSim,
+                _c: ConnId,
+                _d: SimDuration,
+            ) {
+                self.recoveries += 1;
+            }
+        }
+        sim.post_message(conn, 64 * 1024);
+        let mut app = Watch {
+            errors: 0,
+            recoveries: 0,
+        };
+        sim.run(&mut app, FOREVER);
+        assert_eq!(sim.conn_state(conn), ConnState::Error);
+        assert_eq!(sim.failed_connections(), 1);
+        assert_eq!(app.errors, 1);
+        assert_eq!(app.recoveries, 2, "both attempts ran before giving up");
+        assert!(sim.conn_error(conn).is_some());
+        assert!(sim.all_idle());
+    }
+
+    /// Recovery enabled on a fault-free run is a pure no-op: the policy
+    /// draws no RNG and schedules nothing until a failure occurs, so the
+    /// runs are observably identical (the golden-corpus guarantee).
+    #[test]
+    fn fault_free_run_is_identical_with_recovery_enabled() {
+        let run = |recovery: Option<RecoveryPolicy>| {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 2,
+                hosts_per_segment: 4,
+                rails: 1,
+                planes: 2,
+                aggs_per_plane: 8,
+            });
+            let rng = SimRng::from_seed(17);
+            let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+            let mut sim = TransportSim::new(
+                network,
+                TransportConfig {
+                    recovery,
+                    ..TransportConfig::default()
+                },
+                rng.fork("transport"),
+            );
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(4, 0);
+            let conn = sim.add_connection(src, dst);
+            let msg = sim.post_message(conn, 4 * 1024 * 1024);
+            sim.run(&mut NoopApp, FOREVER);
+            (
+                sim.message_completed_at(conn, msg).unwrap().as_nanos(),
+                sim.total_stats(),
+                sim.events_scheduled(),
+            )
+        };
+        assert_eq!(run(None), run(Some(RecoveryPolicy::default())));
+    }
+
+    #[test]
+    fn reconnect_delay_backs_off_and_caps() {
+        let p = RecoveryPolicy::default();
+        // base 1 ms, mult 2.0, cap 100 ms, reestablish 120 µs.
+        let re = SimDuration::from_micros(120);
+        assert_eq!(p.reconnect_delay(0), SimDuration::from_millis(1) + re);
+        assert_eq!(p.reconnect_delay(1), SimDuration::from_millis(2) + re);
+        assert_eq!(p.reconnect_delay(3), SimDuration::from_millis(8) + re);
+        assert_eq!(p.reconnect_delay(30), SimDuration::from_millis(100) + re);
     }
 
     /// The telemetry hub is a mirror, not a second bookkeeper: every

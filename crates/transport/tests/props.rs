@@ -1,11 +1,13 @@
 //! Property tests for the transport's core invariants.
 
 use stellar_net::{ClosConfig, ClosTopology, FaultPlan, Network, NetworkConfig};
+use stellar_sim::par::with_thread_override;
 use stellar_sim::proptest_lite::check;
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::conn::{ConnId, Connection, MessageState};
 use stellar_transport::{
-    App, MsgId, PathAlgo, PathSelector, ScoreboardPolicy, TransportConfig, TransportSim,
+    App, MsgId, PathAlgo, PathSelector, RecoveryPolicy, ScoreboardPolicy, TransportConfig,
+    TransportSim,
 };
 
 /// The receive bitmap completes exactly once under arbitrary arrival
@@ -183,6 +185,164 @@ fn transport_under_faults_is_deterministic() {
             (sim.total_stats(), sim.error_count())
         };
         assert_eq!(run(), run());
+    });
+}
+
+/// An arbitrary fault plan severe enough to exhaust the retry budget
+/// drives the recovery machinery (teardown → backoff → re-establish →
+/// replay) to a byte-identical report at 1 worker and 8 workers: same
+/// stats (including `recoveries` and `replayed_packets`), no connection
+/// left dead or mid-recovery, and the message delivered exactly once.
+#[test]
+fn recovery_under_faults_is_identical_across_thread_counts() {
+    struct Quiet;
+    impl App for Quiet {
+        fn on_message_complete(&mut self, _: &mut TransportSim, _: ConnId, _: MsgId) {}
+    }
+    check("recovery_under_faults_is_identical_across_thread_counts", 12, |g| {
+        let seed = g.u64(0, 500);
+        // ≥ 2 MB keeps the transfer alive well past `down_at` (a 2 MB
+        // message takes ~80 µs on a healthy 200 Gbps path), so the
+        // outage always lands mid-flight.
+        let bytes = g.u64(2048, 8192) * 1024;
+        let retry_budget = g.u32(2, 6);
+        let down_at = SimTime::from_nanos(g.u64(1_000, 40_000));
+        let flaps = g.u32(1, 4);
+        let run = |threads: usize| {
+            with_thread_override(threads, || {
+                let topo = ClosTopology::build(ClosConfig {
+                    segments: 2,
+                    hosts_per_segment: 2,
+                    rails: 1,
+                    planes: 2,
+                    aggs_per_plane: 4,
+                });
+                let rng = SimRng::from_seed(seed);
+                let network = Network::new(
+                    topo,
+                    NetworkConfig {
+                        bgp_convergence: SimDuration::from_millis(50),
+                        ..NetworkConfig::default()
+                    },
+                    rng.fork("net"),
+                );
+                let config = TransportConfig {
+                    algo: PathAlgo::SinglePath,
+                    num_paths: 1,
+                    rto_backoff: 1.0,
+                    retry_budget,
+                    recovery: Some(RecoveryPolicy::default()),
+                    ..TransportConfig::default()
+                };
+                let rto = config.rto;
+                let mut sim = TransportSim::new(network, config, rng.fork("transport"));
+                let src = sim.network().topology().nic(0, 0);
+                let dst = sim.network().topology().nic(2, 0);
+                let conn = sim.add_connection(src, dst);
+                // The single pinned link goes dark long enough to exhaust
+                // the retry budget, guaranteeing at least one recovery;
+                // a flap storm on the neighbouring links rides along for
+                // fault-plan arbitrariness.
+                let victim = sim.network().topology().route(src, dst, 0, 0)[1];
+                let others: Vec<_> = (1..4)
+                    .map(|p| sim.network().topology().route(src, dst, 0, p)[1])
+                    .collect();
+                let outage = rto.mul(u64::from(retry_budget) + 3);
+                let plan = FaultPlan::new(seed)
+                    .link_down(down_at, victim)
+                    .link_up(down_at + outage, victim)
+                    .flap_storm(
+                        &others,
+                        down_at,
+                        SimDuration::from_micros(200),
+                        flaps,
+                        SimDuration::from_micros(10),
+                        SimDuration::from_micros(60),
+                    );
+                sim.network_mut().install_fault_plan(plan);
+                sim.post_message(conn, bytes);
+                sim.run_to_idle(&mut Quiet, SimTime::from_nanos(u64::MAX / 2));
+                let stats = sim.total_stats();
+                assert!(stats.recoveries >= 1, "outage must trigger recovery");
+                assert_eq!(stats.completed_messages, 1);
+                assert_eq!(sim.failed_connections(), 0);
+                assert_eq!(sim.recovering_count(), 0);
+                stats
+            })
+        };
+        assert_eq!(run(1), run(8));
+    });
+}
+
+/// With no faults installed, enabling recovery (and plane failover) is
+/// invisible: the run is byte-identical to the same run with both
+/// disabled — no extra RNG draws, no timing perturbation.
+#[test]
+fn fault_free_run_ignores_recovery_policy() {
+    struct Quiet;
+    impl App for Quiet {
+        fn on_message_complete(&mut self, _: &mut TransportSim, _: ConnId, _: MsgId) {}
+    }
+    check("fault_free_run_ignores_recovery_policy", 24, |g| {
+        let seed = g.u64(0, 500);
+        let bytes = g.u64(64, 2048) * 1024;
+        let algo = *g.pick(&[PathAlgo::SinglePath, PathAlgo::Obs, PathAlgo::MpRdma]);
+        let hardened = g.bool();
+        let run = || {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 2,
+                hosts_per_segment: 2,
+                rails: 1,
+                planes: 2,
+                aggs_per_plane: 4,
+            });
+            let rng = SimRng::from_seed(seed);
+            let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+            let config = TransportConfig {
+                algo,
+                num_paths: if algo == PathAlgo::SinglePath { 1 } else { 16 },
+                recovery: hardened.then(RecoveryPolicy::default),
+                plane_failover: hardened.then(stellar_transport::PlaneFailover::default),
+                ..TransportConfig::default()
+            };
+            let mut sim = TransportSim::new(network, config, rng.fork("transport"));
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(2, 0);
+            let conn = sim.add_connection(src, dst);
+            sim.post_message(conn, bytes);
+            sim.run_to_idle(&mut Quiet, SimTime::from_nanos(u64::MAX / 2));
+            (sim.total_stats(), sim.now())
+        };
+        // Both arms of `hardened` must agree with a fresh unhardened run.
+        let (base_stats, base_now) = run();
+        let baseline = {
+            let topo = ClosTopology::build(ClosConfig {
+                segments: 2,
+                hosts_per_segment: 2,
+                rails: 1,
+                planes: 2,
+                aggs_per_plane: 4,
+            });
+            let rng = SimRng::from_seed(seed);
+            let network = Network::new(topo, NetworkConfig::default(), rng.fork("net"));
+            let mut sim = TransportSim::new(
+                network,
+                TransportConfig {
+                    algo,
+                    num_paths: if algo == PathAlgo::SinglePath { 1 } else { 16 },
+                    ..TransportConfig::default()
+                },
+                rng.fork("transport"),
+            );
+            let src = sim.network().topology().nic(0, 0);
+            let dst = sim.network().topology().nic(2, 0);
+            let conn = sim.add_connection(src, dst);
+            sim.post_message(conn, bytes);
+            sim.run_to_idle(&mut Quiet, SimTime::from_nanos(u64::MAX / 2));
+            (sim.total_stats(), sim.now())
+        };
+        assert_eq!((base_stats, base_now), baseline);
+        assert_eq!(base_stats.recoveries, 0);
     });
 }
 

@@ -286,6 +286,10 @@ mod tests {
         runner.start(&mut s);
         s.run(&mut runner, FOREVER);
         assert!(runner.all_finished());
+        // A finished run holds neither terminally-failed nor
+        // still-recovering connections.
+        assert_eq!(s.failed_connections(), 0);
+        assert_eq!(s.recovering_count(), 0);
         let rep = runner.report(0);
         assert_eq!(rep.iterations.len(), 3);
         assert!(rep.mean_bus_bandwidth_gbs() > 1.0);

@@ -11,10 +11,11 @@
 //! simulated time and seeded randomness; wall clocks never appear.
 
 use stellar_net::fixture::packet_fabric;
-use stellar_net::{ClosConfig, DropReason, Fabric, FaultPlan, LinkId, Network, NetworkConfig, NicId};
+use stellar_net::{ClosConfig, DropReason, Fabric, FaultPlan, LinkId, NetworkConfig, NicId};
 use stellar_sim::{SimDuration, SimRng, SimTime};
 use stellar_transport::{
-    App, ConnId, FatalError, MsgId, PathAlgo, ScoreboardPolicy, TransportConfig, TransportSim,
+    App, ConnId, FatalError, MsgId, PathAlgo, PlaneFailover, RecoveryPolicy, ScoreboardPolicy,
+    TransportConfig, TransportSim,
 };
 
 use crate::allreduce::{AllReduceJob, AllReduceRunner};
@@ -81,6 +82,13 @@ pub struct ChaosConfig {
     pub rto_backoff: f64,
     /// Loss-scoreboard policy.
     pub scoreboard: ScoreboardPolicy,
+    /// Failure recovery policy handed to the transport. `None` (the
+    /// default) keeps the pre-recovery behaviour: a connection that
+    /// exhausts its retry budget dies terminally.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Plane-level failover for the path scoreboard (`None` = per-path
+    /// blacklisting only).
+    pub plane_failover: Option<PlaneFailover>,
     /// Seed for fabric, transport, and fault plan.
     pub seed: u64,
     /// Restrict the scenario's fault plan to these indices into its
@@ -104,6 +112,8 @@ impl Default for ChaosConfig {
             retry_budget: 16,
             rto_backoff: 2.0,
             scoreboard: ScoreboardPolicy::default(),
+            recovery: None,
+            plane_failover: None,
             seed: 7,
             plan_keep: None,
         }
@@ -164,7 +174,15 @@ pub struct ChaosReport {
     pub drops_by_reason: Vec<(DropReason, u64)>,
     /// Total retransmissions across all connections.
     pub retransmits: u64,
-    /// Connections that died with a fatal error.
+    /// Completed connection recovery cycles (0 without a
+    /// [`RecoveryPolicy`]).
+    pub recoveries: u64,
+    /// Packets replayed by recovery re-establishment.
+    pub replayed_packets: u64,
+    /// Per-recovery downtimes, in completion order.
+    pub recovery_downtimes: Vec<SimDuration>,
+    /// Connections that died with a *terminal* fatal error (a connection
+    /// that recovered does not appear here).
     pub errors: Vec<(ConnId, FatalError)>,
     /// Iterations completed (the job may stall on a dead connection).
     pub iterations_completed: u32,
@@ -175,6 +193,7 @@ pub struct ChaosReport {
 struct ErrorWatch {
     runner: AllReduceRunner,
     errors: Vec<(ConnId, FatalError)>,
+    recovered: Vec<(ConnId, SimDuration)>,
 }
 
 impl<F: Fabric> App<F> for ErrorWatch {
@@ -187,23 +206,34 @@ impl<F: Fabric> App<F> for ErrorWatch {
     fn on_connection_error(&mut self, _sim: &mut TransportSim<F>, conn: ConnId, error: FatalError) {
         self.errors.push((conn, error));
     }
+    fn on_connection_recovered(
+        &mut self,
+        _sim: &mut TransportSim<F>,
+        conn: ConnId,
+        downtime: SimDuration,
+    ) {
+        self.recovered.push((conn, downtime));
+    }
 }
 
-fn build_network(config: &ChaosConfig, rng: &SimRng) -> Network {
-    packet_fabric(
-        ClosConfig {
-            segments: 2,
-            hosts_per_segment: config.ranks / 2,
-            rails: 1,
-            planes: 2,
-            aggs_per_plane: 60,
-        },
-        NetworkConfig {
-            bgp_convergence: config.bgp_convergence,
-            ..NetworkConfig::default()
-        },
-        rng,
-    )
+/// The chaos topology: 2 planes × 60 aggs = the production 120-way path
+/// fan-out; losing a few slots to faults is survivable by construction
+/// (§7.2).
+fn chaos_clos(config: &ChaosConfig) -> ClosConfig {
+    ClosConfig {
+        segments: 2,
+        hosts_per_segment: config.ranks / 2,
+        rails: 1,
+        planes: 2,
+        aggs_per_plane: 60,
+    }
+}
+
+fn chaos_net(config: &ChaosConfig) -> NetworkConfig {
+    NetworkConfig {
+        bgp_convergence: config.bgp_convergence,
+        ..NetworkConfig::default()
+    }
 }
 
 /// Ring alternating across segments so every edge crosses the agg layer.
@@ -216,25 +246,37 @@ fn ring_nics<F: Fabric>(config: &ChaosConfig, sim: &TransportSim<F>) -> Vec<NicI
         .collect()
 }
 
-fn build_sim(config: &ChaosConfig) -> (TransportSim, Vec<NicId>) {
+fn chaos_transport(config: &ChaosConfig) -> TransportConfig {
+    TransportConfig {
+        algo: config.algo,
+        num_paths: config.num_paths,
+        retry_budget: config.retry_budget,
+        rto_backoff: config.rto_backoff,
+        scoreboard: config.scoreboard,
+        recovery: config.recovery.clone(),
+        plane_failover: config.plane_failover,
+        ..TransportConfig::default()
+    }
+}
+
+/// Build the chaos simulator on any [`Fabric`]. The builder closure is
+/// the same shape the failure-timeline and scale experiments use
+/// (`|clos, net, rng| hybrid_fabric(clos, net, HybridConfig::default(),
+/// rng)`); it is `Fn` rather than `FnOnce` because a chaos run builds
+/// the fabric twice — once for calibration, once for the chaos pass.
+pub fn build_sim_with<F: Fabric>(
+    config: &ChaosConfig,
+    build: &impl Fn(ClosConfig, NetworkConfig, &SimRng) -> F,
+) -> (TransportSim<F>, Vec<NicId>) {
     let rng = SimRng::from_seed(config.seed);
-    let network = build_network(config, &rng);
-    // 2 planes × 60 aggs = the production 120-way path fan-out; losing a
-    // few slots to faults is survivable by construction (§7.2).
-    let sim = TransportSim::new(
-        network,
-        TransportConfig {
-            algo: config.algo,
-            num_paths: config.num_paths,
-            retry_budget: config.retry_budget,
-            rto_backoff: config.rto_backoff,
-            scoreboard: config.scoreboard,
-            ..TransportConfig::default()
-        },
-        rng.fork("transport"),
-    );
+    let network = build(chaos_clos(config), chaos_net(config), &rng);
+    let sim = TransportSim::new(network, chaos_transport(config), rng.fork("transport"));
     let nics = ring_nics(config, &sim);
     (sim, nics)
+}
+
+fn build_sim(config: &ChaosConfig) -> (TransportSim, Vec<NicId>) {
+    build_sim_with(config, &|clos, net, rng| packet_fabric(clos, net, rng))
 }
 
 /// The distinct fabric links the ring's first connection can cross at its
@@ -335,8 +377,11 @@ fn effective_plan<F: Fabric>(
 /// Run the calibration pass: fault-free, same seed. Returns the mean
 /// busbw (GB/s) and mean iteration time, plus the spent simulator so the
 /// chaos pass can [`TransportSim::reset`] it instead of reallocating.
-fn calibrate(config: &ChaosConfig) -> (f64, SimDuration, TransportSim) {
-    let (mut sim, nics) = build_sim(config);
+fn calibrate_with<F: Fabric>(
+    config: &ChaosConfig,
+    build: &impl Fn(ClosConfig, NetworkConfig, &SimRng) -> F,
+) -> (f64, SimDuration, TransportSim<F>) {
+    let (mut sim, nics) = build_sim_with(config, build);
     let mut runner = AllReduceRunner::new(
         &mut sim,
         vec![AllReduceJob {
@@ -361,15 +406,30 @@ fn calibrate(config: &ChaosConfig) -> (f64, SimDuration, TransportSim) {
     (report.mean_bus_bandwidth_gbs(), mean_iter, sim)
 }
 
-/// Run one chaos scenario (calibration + chaos pass).
+/// Run one chaos scenario (calibration + chaos pass) on the packet-level
+/// [`Network`].
 pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
-    let (healthy_busbw, iter_time, mut sim) = calibrate(config);
+    run_chaos_with(config, &|clos, net, rng| packet_fabric(clos, net, rng))
+}
+
+/// Run one chaos scenario on any [`Fabric`] — the hybrid packet/fluid
+/// fabric included, which is how chaos reaches 4k+-rank jobs. The
+/// builder is invoked twice (calibration fabric, then chaos fabric) with
+/// identical arguments, so both passes see the same seeded network.
+pub fn run_chaos_with<F: Fabric>(
+    config: &ChaosConfig,
+    build: &impl Fn(ClosConfig, NetworkConfig, &SimRng) -> F,
+) -> ChaosReport {
+    let (healthy_busbw, iter_time, mut sim) = calibrate_with(config, build);
 
     // Same seed as calibration, fresh fabric; the spent calibration sim
     // is reset in place so the chaos pass reuses its event-queue and
     // connection-table allocations.
     let rng = SimRng::from_seed(config.seed);
-    sim.reset(build_network(config, &rng), rng.fork("transport"));
+    sim.reset(
+        build(chaos_clos(config), chaos_net(config), &rng),
+        rng.fork("transport"),
+    );
     let nics = ring_nics(config, &sim);
     let plan = effective_plan(config, &sim, &nics, iter_time);
     // A shrunk plan may be empty (the shrinker probes the no-fault
@@ -399,6 +459,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
     let mut app = ErrorWatch {
         runner,
         errors: Vec::new(),
+        recovered: Vec::new(),
     };
     app.runner.start(&mut sim);
     sim.run(&mut app, SimTime::from_nanos(u64::MAX / 2));
@@ -427,7 +488,10 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         .collect();
     let total = sim.total_stats();
     let errors = app.errors;
-    debug_assert_eq!(errors.len(), sim.error_count());
+    // Only *terminal* failures surface as errors; a connection that is
+    // still recovering (or recovered) must not be counted dead.
+    debug_assert_eq!(errors.len(), sim.failed_connections());
+    debug_assert_eq!(app.recovered.len() as u64, total.recoveries);
 
     let verdict = if !errors.is_empty() {
         Verdict::TransportError
@@ -455,6 +519,9 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         recovered_at,
         drops_by_reason,
         retransmits: total.retransmits,
+        recoveries: total.recoveries,
+        replayed_packets: total.replayed_packets,
+        recovery_downtimes: app.recovered.iter().map(|&(_, d)| d).collect(),
         errors,
         verdict,
     }
@@ -498,13 +565,41 @@ impl ShrunkChaos {
             Some(keep) => format!("Some(vec!{keep:?})"),
             None => "None".to_string(),
         };
+        let recovery = match &c.recovery {
+            Some(r) => format!(
+                "Some(RecoveryPolicy {{\n\
+                \x20           max_attempts: {},\n\
+                \x20           backoff: SimDuration::from_nanos({}),\n\
+                \x20           backoff_mult: {:?},\n\
+                \x20           backoff_max: SimDuration::from_nanos({}),\n\
+                \x20           reestablish: SimDuration::from_nanos({}),\n\
+                \x20       }})",
+                r.max_attempts,
+                r.backoff.as_nanos(),
+                r.backoff_mult,
+                r.backoff_max.as_nanos(),
+                r.reestablish.as_nanos(),
+            ),
+            None => "None".to_string(),
+        };
+        let plane_failover = match &c.plane_failover {
+            Some(p) => format!(
+                "Some(PlaneFailover {{\n\
+                \x20           planes: {},\n\
+                \x20           readmit_after: SimDuration::from_nanos({}),\n\
+                \x20       }})",
+                p.planes,
+                p.readmit_after.as_nanos(),
+            ),
+            None => "None".to_string(),
+        };
         format!(
             "/// Minimal reproducer shrunk from a failing chaos scenario \
              ({} of {} fault events kept).\n\
              #[test]\n\
              fn shrunk_chaos_reproducer() {{\n\
             \x20   use stellar_sim::SimDuration;\n\
-            \x20   use stellar_transport::{{PathAlgo, ScoreboardPolicy}};\n\
+            \x20   use stellar_transport::{{PathAlgo, PlaneFailover, RecoveryPolicy, ScoreboardPolicy}};\n\
             \x20   use stellar_workloads::{{chaos_fails, ChaosConfig, ChaosScenario}};\n\
             \x20   let config = ChaosConfig {{\n\
             \x20       scenario: ChaosScenario::{:?},\n\
@@ -521,6 +616,8 @@ impl ShrunkChaos {
             \x20           blacklist_after: {},\n\
             \x20           penalty: SimDuration::from_nanos({}),\n\
             \x20       }},\n\
+            \x20       recovery: {},\n\
+            \x20       plane_failover: {},\n\
             \x20       seed: {},\n\
             \x20       plan_keep: {},\n\
             \x20   }};\n\
@@ -540,6 +637,8 @@ impl ShrunkChaos {
             c.rto_backoff,
             c.scoreboard.blacklist_after,
             c.scoreboard.penalty.as_nanos(),
+            recovery,
+            plane_failover,
             c.seed,
             plan_keep,
         )
@@ -766,6 +865,123 @@ mod tests {
                 "a dead ring edge cannot finish the job"
             );
         }
+    }
+
+    #[test]
+    fn compound_unhardened_single_path_recovers_with_policy() {
+        // The acceptance scenario for DESIGN.md §11: the exact config
+        // that drives single-path into terminal RetryBudgetExhausted
+        // (see compound_unhardened_single_path_errors_or_collapses),
+        // except a RecoveryPolicy is installed. The connection still
+        // exhausts its budget — but now it tears down, backs off, and
+        // replays, so the job completes end-to-end with zero terminal
+        // errors and the exactly-once invariant holding throughout.
+        let r = stellar_check::strict(|| {
+            run_chaos(&ChaosConfig {
+                algo: PathAlgo::SinglePath,
+                num_paths: 1,
+                rto_backoff: 1.0,
+                retry_budget: 8,
+                scoreboard: ScoreboardPolicy {
+                    blacklist_after: 0,
+                    penalty: SimDuration::ZERO,
+                },
+                bgp_convergence: SimDuration::from_millis(50),
+                recovery: Some(RecoveryPolicy::default()),
+                ..quick(ChaosScenario::Compound)
+            })
+        });
+        assert!(
+            r.errors.is_empty(),
+            "recovery must prevent terminal errors: {:?}",
+            r.errors
+        );
+        assert_ne!(r.verdict, Verdict::TransportError);
+        assert_eq!(
+            r.iterations_completed, 8,
+            "the job must complete end-to-end with recovery enabled"
+        );
+        assert!(r.recoveries >= 1, "the dead route must trigger recovery");
+        assert_eq!(r.recovery_downtimes.len() as u64, r.recoveries);
+        assert!(
+            r.replayed_packets > 0,
+            "recovery must replay the unacked packets"
+        );
+        // Every downtime includes at least the first-rung reconnect
+        // delay (backoff + re-establish).
+        let floor = RecoveryPolicy::default().reconnect_delay(0);
+        assert!(r.recovery_downtimes.iter().all(|&d| d >= floor));
+    }
+
+    #[test]
+    fn recovery_does_not_perturb_fault_free_chaos() {
+        // Byte-identity of the fault-free path: a run whose plan was
+        // shrunk to nothing must produce identical numbers with and
+        // without a recovery policy installed.
+        let empty_plan = ChaosConfig {
+            plan_keep: Some(Vec::new()),
+            ..quick(ChaosScenario::Compound)
+        };
+        let base = run_chaos(&empty_plan);
+        let with_recovery = run_chaos(&ChaosConfig {
+            recovery: Some(RecoveryPolicy::default()),
+            plane_failover: Some(PlaneFailover::default()),
+            ..empty_plan
+        });
+        assert_eq!(base.busbw_gbs, with_recovery.busbw_gbs);
+        assert_eq!(base.retransmits, with_recovery.retransmits);
+        assert_eq!(base.drops_by_reason, with_recovery.drops_by_reason);
+        assert_eq!(with_recovery.recoveries, 0);
+    }
+
+    #[test]
+    fn hybrid_escalation_stays_sticky_across_flap_storm() {
+        use stellar_net::fixture::hybrid_fabric;
+        use stellar_net::HybridConfig;
+
+        // Chaos on the hybrid fabric: the storm must escalate the flows
+        // that cross flapping uplinks to the packet model, and
+        // stickiness must hold — an escalated flow keeps sending on the
+        // packet side without re-escalating every packet.
+        let config = quick(ChaosScenario::FlapStorm);
+        let build = |clos: ClosConfig, net: NetworkConfig, rng: &SimRng| {
+            hybrid_fabric(clos, net, HybridConfig::default(), rng)
+        };
+        let run = || {
+            let (_, iter_time, _) = calibrate_with(&config, &build);
+            let (mut sim, nics) = build_sim_with(&config, &build);
+            let plan = effective_plan(&config, &sim, &nics, iter_time);
+            sim.network_mut().install_fault_plan(plan);
+            let runner = AllReduceRunner::new(
+                &mut sim,
+                vec![AllReduceJob {
+                    nics,
+                    data_bytes: config.data_bytes,
+                    iterations: config.iterations,
+                    burst: None,
+                }],
+            );
+            let mut app = ErrorWatch {
+                runner,
+                errors: Vec::new(),
+                recovered: Vec::new(),
+            };
+            app.runner.start(&mut sim);
+            sim.run(&mut app, SimTime::from_nanos(u64::MAX / 2));
+            assert!(app.runner.all_finished(), "hybrid chaos run must finish");
+            assert!(app.errors.is_empty(), "errors: {:?}", app.errors);
+            sim.network().send_split()
+        };
+        let (packet_sends, fluid_sends, escalations) = run();
+        assert!(escalations > 0, "a flap storm must escalate flows");
+        assert!(fluid_sends > 0, "healthy traffic must stay fluid");
+        assert!(
+            packet_sends > 10 * escalations,
+            "sticky flows keep sending packet-side without re-escalating: \
+             {packet_sends} packet sends vs {escalations} escalations"
+        );
+        // Seed-pinned: the identical run reproduces the split exactly.
+        assert_eq!(run(), (packet_sends, fluid_sends, escalations));
     }
 
     #[test]

@@ -163,6 +163,11 @@ pub fn run_failure_timeline_with<F: Fabric>(
     };
     sim.run(&mut app, SimTime::from_nanos(u64::MAX / 2));
     assert!(app.runner.all_finished(), "timeline job must finish");
+    // A finished job proves every connection came to rest: none dead
+    // terminally and none stuck mid-recovery — the two states
+    // `failed_connections` / `recovering_count` distinguish.
+    debug_assert_eq!(sim.failed_connections(), 0);
+    debug_assert_eq!(sim.recovering_count(), 0);
     let fail_at = app.failed_at.expect("failure was injected");
 
     let report = app.runner.report(0);

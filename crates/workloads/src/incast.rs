@@ -103,6 +103,8 @@ pub fn run_incast_with<F: Fabric>(
         .map(|&c| (c, sim.post_message(c, config.bytes_per_sender)))
         .collect();
     sim.run(&mut NoopApp, SimTime::from_nanos(u64::MAX / 2));
+    // No connection may end the run dead or mid-recovery.
+    debug_assert_eq!(sim.failed_connections() + sim.recovering_count(), 0);
 
     let done: Vec<SimTime> = msgs
         .iter()

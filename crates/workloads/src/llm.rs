@@ -376,6 +376,8 @@ pub fn simulate_training_step_with<F: Fabric>(
     let mut runner = AllReduceRunner::new(&mut sim, jobs);
     runner.start(&mut sim);
     sim.run(&mut runner, SimTime::from_nanos(u64::MAX / 2));
+    // No connection may end the run dead or mid-recovery.
+    debug_assert_eq!(sim.failed_connections() + sim.recovering_count(), 0);
     // The step's communication phase ends when the slowest ring finishes.
     let comm = (0..config.rings)
         .map(|j| {
@@ -493,6 +495,8 @@ pub fn simulate_scale_training_step<F: Fabric>(
     let mut runner = AllReduceRunner::new(&mut sim, jobs);
     runner.start(&mut sim);
     sim.run(&mut runner, SimTime::from_nanos(u64::MAX / 2));
+    // No connection may end the run dead or mid-recovery.
+    debug_assert_eq!(sim.failed_connections() + sim.recovering_count(), 0);
     let comm = (0..rings)
         .map(|j| {
             let rep = runner.report(j);

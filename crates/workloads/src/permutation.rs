@@ -160,6 +160,8 @@ pub fn run_permutation_with<F: Fabric>(
     }
     // Let in-flight traffic complete past the injection window.
     sim.run(&mut app, stop_at + config.duration);
+    // No connection may end the run dead or mid-recovery.
+    debug_assert_eq!(sim.failed_connections() + sim.recovering_count(), 0);
 
     let now = sim.now();
     let (avg_q, max_q) = sim.network().tor_uplink_queue_stats(now);

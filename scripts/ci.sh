@@ -82,6 +82,20 @@ if [ "$a" != "$checked" ]; then
 fi
 cargo run --release --offline -p stellar-bench --bin reproduce -- chaos --quick --json --check >/dev/null
 
+# Recovery gate: the compound-chaos recovery suite (connection
+# re-establishment, plane failover, vStellar churn, 4k-rank fleet) must
+# pass every invariant under --check — in particular
+# transport.recovery_exactly_once and net.blacklist_readmit — and must
+# be byte-identical on one worker and eight. (Its events/sec lands in
+# BENCH_reproduce.json via the --perf pass below, like every experiment.)
+rec_one="$(STELLAR_THREADS=1 cargo run --release --offline -p stellar-bench --bin reproduce -- recovery --quick --json --check)"
+rec_many="$(STELLAR_THREADS=8 cargo run --release --offline -p stellar-bench --bin reproduce -- recovery --quick --json)"
+if [ "$rec_one" != "$rec_many" ]; then
+    echo "recovery gate: reproduce recovery --json differs between 1 and 8 workers" >&2
+    diff <(printf '%s\n' "$rec_one") <(printf '%s\n' "$rec_many") >&2 || true
+    exit 1
+fi
+
 # Golden-corpus gate: the recorded reproduce outputs under
 # crates/bench/tests/golden/ must match fresh runs byte-for-byte at one
 # worker and at eight (the golden tests run both internally).
