@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [<experiment>] [--quick] [--json] [--perf] [--trace] [--check] [--list]
 //!   experiments: fig6 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//!                fig16 table1 claims timeline chaos scale recovery all
+//!                fig16 table1 claims timeline chaos scale recovery
+//!                cluster all
 //! ```
 //!
 //! `--quick` runs scaled-down configurations (seconds instead of
@@ -84,6 +85,7 @@ experiments![
     ("chaos", chaos),
     ("scale", scale),
     ("recovery", recovery),
+    ("cluster", cluster),
 ];
 
 /// Parsed command line.
@@ -297,7 +299,7 @@ fn main() {
         eprintln!(
             "unknown experiment '{}'; expected one of: fig6 fig8 fig9 fig10 \
              fig11 fig12 fig13 fig14 fig15 fig16 table1 claims timeline chaos \
-             scale recovery all",
+             scale recovery cluster all",
             args.which
         );
         std::process::exit(2);
@@ -425,7 +427,7 @@ mod tests {
             [
                 "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
                 "fig15", "fig16", "table1", "claims", "timeline", "chaos", "scale",
-                "recovery"
+                "recovery", "cluster"
             ]
         );
     }

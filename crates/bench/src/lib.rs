@@ -14,6 +14,7 @@
 
 pub mod chaos;
 pub mod claims;
+pub mod cluster;
 pub mod fig06_startup;
 pub mod fig08_atc;
 pub mod fig09_permutation;

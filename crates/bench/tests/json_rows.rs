@@ -122,6 +122,54 @@ fn recovery_rows_serialize_with_fields() {
     }]);
 }
 
+/// `cluster::run(true)` drives several full multi-tenant cluster runs —
+/// debug-profile tests pin the row schema on a hand-built row instead
+/// (the run itself is exercised in release by `reproduce cluster
+/// --quick` in CI).
+#[test]
+fn cluster_rows_serialize_with_fields() {
+    let row = b::cluster::Row {
+        scenario: "topo-aware",
+        policy: "topo",
+        fabric: "packet",
+        tenants: 4,
+        ranks: 24,
+        peak_ranks: 24,
+        capacity: 32,
+        max_wait_ms: 0.0,
+        goodput_gbs: 11.5,
+        p99_us: 410.2,
+        x_solo: 1.8,
+        recoveries: 0,
+        errors: 0,
+        verdict: "beats-binpack",
+    };
+    let vals = to_json(std::slice::from_ref(&row));
+    assert_eq!(vals.len(), 1);
+    for field in [
+        "scenario", "policy", "fabric", "tenants", "ranks", "peak_ranks", "capacity",
+        "max_wait_ms", "goodput_gbs", "p99_us", "x_solo", "recoveries", "errors", "verdict",
+    ] {
+        assert!(vals[0].get(field).is_some(), "missing field {field}");
+    }
+    assert_roundtrip("cluster", &[row, b::cluster::Row {
+        scenario: "churn-storm",
+        policy: "topo",
+        fabric: "packet",
+        tenants: 2,
+        ranks: 12,
+        peak_ranks: 12,
+        capacity: 32,
+        max_wait_ms: 0.0,
+        goodput_gbs: 9.0,
+        p99_us: 512.0,
+        x_solo: -1.0,
+        recoveries: 10,
+        errors: 0,
+        verdict: "zero-loss",
+    }]);
+}
+
 #[test]
 fn fig6_rows_serialize_with_fields() {
     let rows = b::fig06_startup::run(true);

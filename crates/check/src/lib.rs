@@ -56,6 +56,8 @@ pub enum Layer {
     Telemetry,
     /// Virtualisation: PVDMA pinning.
     Virt,
+    /// Cluster scheduler: slot booking, admission, tenant lifecycle.
+    Cluster,
 }
 
 impl Layer {
@@ -68,6 +70,7 @@ impl Layer {
             Layer::Transport => "transport",
             Layer::Telemetry => "telemetry",
             Layer::Virt => "virt",
+            Layer::Cluster => "cluster",
         }
     }
 }
@@ -172,6 +175,21 @@ pub const INVARIANTS: &[InvariantSpec] = &[
         layer: Layer::Virt,
         name: "virt.pvdma_accounting",
         description: "PVDMA resident map-cache entries never exceed pinned blocks",
+    },
+    InvariantSpec {
+        layer: Layer::Cluster,
+        name: "cluster.slot_capacity",
+        description: "no NIC slot is ever double-booked: every slot is held by at most one admitted tenant, and the free-slot gauge equals capacity minus booked slots",
+    },
+    InvariantSpec {
+        layer: Layer::Cluster,
+        name: "cluster.admitted_capacity",
+        description: "ranks of concurrently admitted tenants never exceed the cluster's NIC slot capacity",
+    },
+    InvariantSpec {
+        layer: Layer::Cluster,
+        name: "cluster.departed_quiesced",
+        description: "every departed tenant's connections are quiesced: idle, not recovering, and holding no terminal error",
     },
 ];
 

@@ -1,0 +1,133 @@
+//! Per-tenant SLO accounting and the rendered cluster report.
+
+use std::fmt::Write as _;
+
+use stellar_sim::SimDuration;
+
+use crate::placement::Slot;
+
+/// What one tenant experienced, end to end.
+#[derive(Debug, Clone)]
+pub struct TenantSlo {
+    /// Tenant name (from its spec).
+    pub name: String,
+    /// Ring size.
+    pub ranks: usize,
+    /// Placement the scheduler chose (empty if rejected).
+    pub slots: Vec<Slot>,
+    /// Distinct segments the placement touches (1 = intra-segment).
+    pub segment_span: usize,
+    /// Admission-queue wait: admission − arrival.
+    pub wait: SimDuration,
+    /// Setup cost paid between admission and first traffic: RunD boot +
+    /// vStellar create + PVDMA MR pin + QP bring-up.
+    pub boot: SimDuration,
+    /// Mean AllReduce bus bandwidth over completed iterations, GB/s.
+    pub goodput_gbs: f64,
+    /// p99 message latency across the tenant's ring connections, µs
+    /// (`-1` with no completed messages).
+    pub p99_latency_us: f64,
+    /// Completed connection recoveries (device churn survived).
+    pub recoveries: u64,
+    /// Total recovery downtime across the tenant's connections.
+    pub downtime: SimDuration,
+    /// Whether every iteration completed.
+    pub finished: bool,
+}
+
+/// The whole run's outcome.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Placement policy name.
+    pub policy: &'static str,
+    /// Per-tenant SLOs, in submission order.
+    pub tenants: Vec<TenantSlo>,
+    /// Slot capacity of the shared topology.
+    pub capacity: usize,
+    /// Peak concurrently admitted ranks.
+    pub peak_admitted_ranks: usize,
+    /// Terminal connection errors across the run (must stay zero).
+    pub errors: usize,
+    /// Total completed recoveries across all tenants.
+    pub total_recoveries: u64,
+    /// Whether every tenant departed with all iterations complete.
+    pub all_finished: bool,
+}
+
+impl ClusterReport {
+    /// Worst per-tenant p99 message latency, µs (`-1` if none measured).
+    pub fn worst_p99_us(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.p99_latency_us)
+            .fold(-1.0, f64::max)
+    }
+
+    /// Mean per-tenant goodput, GB/s.
+    pub fn mean_goodput_gbs(&self) -> f64 {
+        if self.tenants.is_empty() {
+            return 0.0;
+        }
+        self.tenants.iter().map(|t| t.goodput_gbs).sum::<f64>() / self.tenants.len() as f64
+    }
+
+    /// Longest admission-queue wait.
+    pub fn max_wait(&self) -> SimDuration {
+        self.tenants
+            .iter()
+            .map(|t| t.wait)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The byte-stable placement + SLO table (what the determinism
+    /// property pins across thread counts).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "cluster [{}]: {} tenants, {} slots, peak {} ranks admitted",
+            self.policy,
+            self.tenants.len(),
+            self.capacity,
+            self.peak_admitted_ranks
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:>10} {:>5} {:>14} {:>4} {:>9} {:>9} {:>8} {:>9} {:>5} {:>9}  done",
+            "tenant", "ranks", "slots", "segs", "wait_ms", "boot_ms", "GB/s", "p99_us", "recov",
+            "down_ms"
+        )
+        .unwrap();
+        for t in &self.tenants {
+            let slots = if t.slots.is_empty() {
+                "rejected".to_string()
+            } else {
+                format!(
+                    "r{}:h{}-{}",
+                    t.slots[0].rail,
+                    t.slots[0].host,
+                    t.slots[t.slots.len() - 1].host
+                )
+            };
+            writeln!(
+                out,
+                "{:>10} {:>5} {:>14} {:>4} {:>9.2} {:>9.1} {:>8.2} {:>9.1} {:>5} {:>9.2}  {}",
+                t.name,
+                t.ranks,
+                slots,
+                t.segment_span,
+                t.wait.as_nanos() as f64 / 1e6,
+                t.boot.as_nanos() as f64 / 1e6,
+                t.goodput_gbs,
+                t.p99_latency_us,
+                t.recoveries,
+                t.downtime.as_nanos() as f64 / 1e6,
+                if t.finished { "yes" } else { "NO" }
+            )
+            .unwrap();
+        }
+        out
+    }
+}

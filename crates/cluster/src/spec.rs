@@ -1,0 +1,115 @@
+//! Tenant and cluster descriptions: what arrives, when, and how big.
+
+use stellar_core::vstellar::VStellarStack;
+use stellar_net::ClosConfig;
+use stellar_sim::{SimDuration, SimTime};
+use stellar_transport::RecoveryPolicy;
+use stellar_workloads::allreduce::BurstSchedule;
+
+/// One tenant job submitted to the cluster.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Stable tenant name (report key; must be unique within a config).
+    pub name: String,
+    /// Ring size — one NIC slot per rank.
+    pub ranks: usize,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// AllReduce payload per rank.
+    pub data_bytes: u64,
+    /// AllReduce iterations before the tenant departs.
+    pub iterations: u32,
+    /// Optional on/off schedule (background tenants).
+    pub burst: Option<BurstSchedule>,
+    /// RunD container memory (drives PVDMA boot time).
+    pub memory_bytes: u64,
+    /// vStellar device-churn storm: offsets **after the tenant starts
+    /// its traffic** at which every ring connection's virtual device is
+    /// torn out and recovered through the transport's recovery ladder.
+    pub churns: Vec<SimDuration>,
+}
+
+impl TenantSpec {
+    /// A plain tenant with `ranks` ranks arriving at `arrival`, carrying
+    /// sensible defaults (1 MiB payloads, 4 iterations, 256 MiB
+    /// container, no bursts, no churn).
+    pub fn plain(name: impl Into<String>, ranks: usize, arrival: SimTime) -> Self {
+        TenantSpec {
+            name: name.into(),
+            ranks,
+            arrival,
+            data_bytes: 1 << 20,
+            iterations: 4,
+            burst: None,
+            memory_bytes: 256 << 20,
+            churns: Vec::new(),
+        }
+    }
+}
+
+/// How the scheduler maps a tenant's ring onto free NIC slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Greedy first-fit bin-packing: the lowest-indexed rail with enough
+    /// free slots, lowest-indexed hosts first. Packs tight, ignores
+    /// segment locality — fragmented clusters produce rings straddling
+    /// the segment boundary, whose every edge crosses the shared
+    /// aggregation layer.
+    BinPack,
+    /// Topology/rail-aware: prefer the least-loaded `(segment, rail)`
+    /// pair that holds the whole ring, spreading tenants across rails
+    /// and keeping every ring edge inside one segment (two-hop ToR
+    /// turnaround, no aggregation-layer sharing).
+    TopoAware,
+}
+
+impl PlacementPolicy {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::BinPack => "binpack",
+            PlacementPolicy::TopoAware => "topo",
+        }
+    }
+}
+
+/// The full cluster-run description.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shared dual-plane topology every tenant lands on.
+    pub topology: ClosConfig,
+    /// Placement policy.
+    pub policy: PlacementPolicy,
+    /// Tenant jobs, in submission order.
+    pub tenants: Vec<TenantSpec>,
+    /// Seed for every stream in the run.
+    pub seed: u64,
+    /// vStellar control-plane timing (create/pin/bring-up budgets — the
+    /// knob churn-storm sweeps turn).
+    pub vstellar: VStellarStack,
+    /// Recovery policy armed on every connection; its `reestablish`
+    /// cost is overwritten with the live-measured device-churn
+    /// lifecycle, so churned connections pay the real
+    /// create→re-pin→bring-up price.
+    pub recovery: RecoveryPolicy,
+}
+
+impl ClusterConfig {
+    /// A config over `topology` with the given policy and tenants,
+    /// default timing, and seed 42.
+    pub fn new(topology: ClosConfig, policy: PlacementPolicy, tenants: Vec<TenantSpec>) -> Self {
+        ClusterConfig {
+            topology,
+            policy,
+            tenants,
+            seed: 42,
+            vstellar: VStellarStack::new(),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Total NIC slots the topology offers (hosts × rails).
+    pub fn capacity(&self) -> usize {
+        self.topology.segments * self.topology.hosts_per_segment * self.topology.rails
+    }
+}

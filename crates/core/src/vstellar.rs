@@ -100,12 +100,23 @@ pub struct VStellarDevice {
 pub struct VStellarStack {
     /// One guest↔host control round trip (vmexit, host driver work).
     pub control_latency: SimDuration,
+    /// Override of the device-reported creation time (the ~1.5 s cycle
+    /// from `VdevManagerConfig::vstellar_create_time`). `None` keeps the
+    /// device's own figure, so default stacks are byte-identical to the
+    /// pre-override model; churn-storm sweeps set it to explore
+    /// create/pin/bring-up budgets.
+    pub create_override: Option<SimDuration>,
+    /// Control verbs charged per QP bring-up (create + state modifies),
+    /// one virtio round trip each. Default 4.
+    pub qp_control_verbs: u64,
 }
 
 impl Default for VStellarStack {
     fn default() -> Self {
         VStellarStack {
             control_latency: SimDuration::from_micros(30),
+            create_override: None,
+            qp_control_verbs: 4,
         }
     }
 }
@@ -114,6 +125,16 @@ impl VStellarStack {
     /// A stack with default control-path timing.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A stack whose device creation takes `create` instead of the
+    /// device-reported ~1.5 s (all other timing at defaults) — the knob
+    /// churn-storm sweeps turn.
+    pub fn with_create_time(create: SimDuration) -> Self {
+        VStellarStack {
+            create_override: Some(create),
+            ..Self::default()
+        }
     }
 
     /// Create a vStellar device for `container` on `rnic`.
@@ -138,7 +159,8 @@ impl VStellarStack {
             .expect("PF LUT entry fits (one per RNIC)");
 
         let r = server.rnic_mut(rnic);
-        let (vdev, create_time) = r.vdevs.create_vstellar()?;
+        let (vdev, device_create_time) = r.vdevs.create_vstellar()?;
+        let create_time = self.create_override.unwrap_or(device_create_time);
         r.vdevs.set_attached(vdev, true)?;
         let (_, doorbell) = r
             .doorbells
@@ -343,8 +365,9 @@ impl VStellarStack {
         r.verbs.modify_qp(qp, QpState::Init)?;
         r.verbs.modify_qp(qp, QpState::ReadyToReceive)?;
         r.verbs.modify_qp(qp, QpState::ReadyToSend)?;
-        // Four control verbs (create + 3 modifies), one round trip each.
-        Ok((qp, self.control_latency.mul(4)))
+        // Control verbs (create + 3 modifies by default), one round trip
+        // each.
+        Ok((qp, self.control_latency.mul(self.qp_control_verbs)))
     }
 
     /// Destroy `device` and bring up its replacement on the same RNIC —
@@ -591,6 +614,40 @@ mod tests {
             .write(&mut server, &churn.device, churn.qp, churn.mrs[0], Gva(4 * MB), MB)
             .unwrap();
         assert_eq!(rep.bytes, MB);
+    }
+
+    #[test]
+    fn churn_timing_is_configurable_and_defaults_unchanged() {
+        // Default stack: device-reported ~1.5 s creation dominates.
+        let (mut server, stack, c) = rig();
+        let (dev, t_default) = stack.create_device(&mut server, c, RnicId(0)).unwrap();
+        stack.destroy_device(&mut server, dev).unwrap();
+        assert!((1.4..2.0).contains(&t_default.as_secs_f64()), "t={t_default}");
+
+        // Overridden stack: a 100 ms create budget shrinks the whole
+        // churn cycle accordingly, and extra QP verbs charge linearly.
+        let fast = VStellarStack {
+            qp_control_verbs: 8,
+            ..VStellarStack::with_create_time(SimDuration::from_millis(100))
+        };
+        let (dev, t_fast) = fast.create_device(&mut server, c, RnicId(0)).unwrap();
+        assert_eq!(
+            t_fast,
+            SimDuration::from_millis(100) + fast.control_latency
+        );
+        let (_, qp_t) = fast.create_qp(&mut server, &dev).unwrap();
+        assert_eq!(qp_t, fast.control_latency.mul(8));
+        stack
+            .register_mr_host(&mut server, &dev, Gva(4 * MB), 4 * MB)
+            .unwrap();
+        let churn = fast
+            .churn_device(&mut server, dev, &[(Gva(4 * MB), 4 * MB)])
+            .unwrap();
+        assert!(
+            (0.1..0.5).contains(&churn.elapsed.as_secs_f64()),
+            "churn={}",
+            churn.elapsed
+        );
     }
 
     #[test]

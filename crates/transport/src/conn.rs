@@ -150,6 +150,12 @@ pub enum FatalError {
         /// Retransmissions attempted before giving up.
         retries: u32,
     },
+    /// The connection's virtual device was torn out from under it —
+    /// vStellar device churn (host driver restart, device error,
+    /// container reschedule). Injected via
+    /// [`TransportSim::device_churn`](crate::TransportSim::device_churn);
+    /// only terminal if the recovery attempt budget is already spent.
+    DeviceChurned,
 }
 
 impl std::fmt::Display for FatalError {
@@ -157,6 +163,9 @@ impl std::fmt::Display for FatalError {
         match self {
             FatalError::RetryBudgetExhausted { seq, retries } => {
                 write!(f, "retry budget exhausted: seq {seq} after {retries} retransmits")
+            }
+            FatalError::DeviceChurned => {
+                write!(f, "virtual device churned beneath the connection")
             }
         }
     }

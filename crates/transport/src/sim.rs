@@ -401,6 +401,13 @@ impl<F: Fabric> TransportSim<F> {
         self.conns[conn.0 as usize].conn.state
     }
 
+    /// Whether `conn` is fully quiesced: nothing unsent, nothing in
+    /// flight, and not waiting on a recovery reconnect.
+    pub fn conn_idle(&self, conn: ConnId) -> bool {
+        let c = &self.conns[conn.0 as usize].conn;
+        c.is_idle() && c.state != ConnState::Recovering
+    }
+
     /// The fatal error that killed `conn`, if it is **terminally**
     /// failed. A connection mid-recovery has no fatal error — the
     /// teardown is transient and [`Connection::fatal`] stays `None`
@@ -487,6 +494,28 @@ impl<F: Fabric> TransportSim<F> {
             self.config.rto.as_nanos() as f64 * self.config.rto_backoff.powi(epoch as i32);
         let capped = scaled.min(self.config.rto_max.as_nanos() as f64);
         SimDuration::from_nanos(capped as u64)
+    }
+
+    /// Tear out `conn`'s virtual device from under it — vStellar device
+    /// churn (host driver restart, device error, container reschedule).
+    /// The connection rides the normal recovery ladder: teardown drain,
+    /// backed-off reconnect (whose [`RecoveryPolicy::reestablish`]
+    /// should carry the measured device destroy→recreate lifecycle, see
+    /// `stellar_core::vstellar::VStellarStack::churn_device`), then
+    /// exactly-once replay from the receiver bitmaps. A no-op unless the
+    /// connection is Active — churning a connection already recovering
+    /// or terminally dead changes nothing.
+    ///
+    /// # Panics
+    /// Panics if no [`RecoveryPolicy`] is configured: device churn
+    /// without recovery would silently kill the connection, which is
+    /// never what a churn storm intends.
+    pub fn device_churn(&mut self, conn: ConnId) {
+        assert!(
+            self.config.recovery.is_some(),
+            "device churn requires a RecoveryPolicy (the churned device must come back)"
+        );
+        self.fail_connection(conn, FatalError::DeviceChurned);
     }
 
     /// Tear down `conn` after a fatal error. Without a

@@ -115,38 +115,46 @@ pub struct AllReduceRunner {
 impl AllReduceRunner {
     /// Create the runner and open every ring connection in `sim`.
     pub fn new<F: Fabric>(sim: &mut TransportSim<F>, jobs: Vec<AllReduceJob>) -> Self {
-        let mut states = Vec::new();
-        let mut by_conn = HashMap::new();
-        for (j, job) in jobs.into_iter().enumerate() {
-            let n = job.nics.len();
-            assert!(n >= 2, "a ring needs at least two ranks");
-            assert!(job.data_bytes >= n as u64, "data too small for the ring");
-            let mut conns = Vec::with_capacity(n);
-            for i in 0..n {
-                let src = job.nics[i];
-                let dst = job.nics[(i + 1) % n];
-                let c = sim.add_connection(src, dst);
-                by_conn.insert(c, (j, (i + 1) % n));
-                conns.push(c);
-            }
-            let chunk = (job.data_bytes / n as u64).max(1);
-            states.push(JobState {
-                steps_total: 2 * (n as u32 - 1),
-                chunk,
-                conns,
-                recv_steps: vec![0; n],
-                ranks_done: 0,
-                iter: 0,
-                iter_started: SimTime::ZERO,
-                records: Vec::new(),
-                finished: false,
-                job,
-            });
+        let mut runner = AllReduceRunner {
+            jobs: Vec::new(),
+            by_conn: HashMap::new(),
+        };
+        for job in jobs {
+            runner.add_job(sim, job);
         }
-        AllReduceRunner {
-            jobs: states,
-            by_conn,
+        runner
+    }
+
+    /// Add one more ring mid-run (a tenant admitted by a scheduler),
+    /// opening its connections in `sim`. Returns the job index; the
+    /// caller kicks it off with [`start_job`](Self::start_job).
+    pub fn add_job<F: Fabric>(&mut self, sim: &mut TransportSim<F>, job: AllReduceJob) -> usize {
+        let j = self.jobs.len();
+        let n = job.nics.len();
+        assert!(n >= 2, "a ring needs at least two ranks");
+        assert!(job.data_bytes >= n as u64, "data too small for the ring");
+        let mut conns = Vec::with_capacity(n);
+        for i in 0..n {
+            let src = job.nics[i];
+            let dst = job.nics[(i + 1) % n];
+            let c = sim.add_connection(src, dst);
+            self.by_conn.insert(c, (j, (i + 1) % n));
+            conns.push(c);
         }
+        let chunk = (job.data_bytes / n as u64).max(1);
+        self.jobs.push(JobState {
+            steps_total: 2 * (n as u32 - 1),
+            chunk,
+            conns,
+            recv_steps: vec![0; n],
+            ranks_done: 0,
+            iter: 0,
+            iter_started: SimTime::ZERO,
+            records: Vec::new(),
+            finished: false,
+            job,
+        });
+        j
     }
 
     /// Kick off iteration 0 of every job.
@@ -154,6 +162,11 @@ impl AllReduceRunner {
         for j in 0..self.jobs.len() {
             self.start_iteration(sim, j);
         }
+    }
+
+    /// Kick off iteration 0 of job `j` alone (a late-admitted ring).
+    pub fn start_job<F: Fabric>(&mut self, sim: &mut TransportSim<F>, j: usize) {
+        self.start_iteration(sim, j);
     }
 
     fn start_iteration<F: Fabric>(&mut self, sim: &mut TransportSim<F>, j: usize) {
@@ -169,6 +182,21 @@ impl AllReduceRunner {
     /// Whether every job finished all its iterations.
     pub fn all_finished(&self) -> bool {
         self.jobs.iter().all(|j| j.finished)
+    }
+
+    /// Whether job `j` finished all its iterations.
+    pub fn job_finished(&self, j: usize) -> bool {
+        self.jobs[j].finished
+    }
+
+    /// The ring connections of job `j` (`conns[i]`: rank i → rank i+1).
+    pub fn job_conns(&self, j: usize) -> &[ConnId] {
+        &self.jobs[j].conns
+    }
+
+    /// Number of jobs registered (finished or not).
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
     }
 
     /// The report for job `j`.

@@ -96,6 +96,21 @@ if [ "$rec_one" != "$rec_many" ]; then
     exit 1
 fi
 
+# Cluster gate: the multi-tenant scheduling table (policy pair,
+# background contention, churn storm, admission wave, hybrid scale)
+# must pass every invariant under --check — in particular the
+# cluster.slot_capacity / cluster.admitted_capacity /
+# cluster.departed_quiesced ledger checks at every scheduler quiesce
+# point — and the placement + SLO report must be byte-identical on one
+# worker and eight.
+clu_one="$(STELLAR_THREADS=1 cargo run --release --offline -p stellar-bench --bin reproduce -- cluster --quick --json --check)"
+clu_many="$(STELLAR_THREADS=8 cargo run --release --offline -p stellar-bench --bin reproduce -- cluster --quick --json)"
+if [ "$clu_one" != "$clu_many" ]; then
+    echo "cluster gate: reproduce cluster --json differs between 1 and 8 workers" >&2
+    diff <(printf '%s\n' "$clu_one") <(printf '%s\n' "$clu_many") >&2 || true
+    exit 1
+fi
+
 # Golden-corpus gate: the recorded reproduce outputs under
 # crates/bench/tests/golden/ must match fresh runs byte-for-byte at one
 # worker and at eight (the golden tests run both internally).

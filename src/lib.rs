@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the whole Stellar reproduction workspace.
 pub use stellar_check as check;
+pub use stellar_cluster as cluster;
 pub use stellar_core as core;
 pub use stellar_net as net;
 pub use stellar_pcie as pcie;
