@@ -39,16 +39,25 @@ use stellar_telemetry::TelemetryConfig;
 
 /// One reproducible experiment: a stable name plus a runner that returns
 /// the fully rendered stdout bytes for the chosen mode.
+///
+/// `event_driven` says whether the experiment runs the discrete-event
+/// simulator. Analytic experiments (closed-form models, no event queue)
+/// report `null` for `events`/`events_per_sec`/`peak_queue_depth` in the
+/// `--perf` report instead of a misleading `0`; an event-driven
+/// experiment reporting zero events is treated as a harness bug and
+/// fails the run.
 struct Experiment {
     name: &'static str,
+    event_driven: bool,
     run: fn(quick: bool, json: bool) -> String,
 }
 
 macro_rules! experiments {
-    ($(($name:literal, $module:ident)),* $(,)?) => {
+    ($(($name:literal, $module:ident, $event_driven:literal)),* $(,)?) => {
         const EXPERIMENTS: &[Experiment] = &[
             $(Experiment {
                 name: $name,
+                event_driven: $event_driven,
                 run: |quick, json| {
                     let rows = b::$module::run(quick);
                     if json {
@@ -69,23 +78,23 @@ macro_rules! experiments {
 }
 
 experiments![
-    ("fig6", fig06_startup),
-    ("fig8", fig08_atc),
-    ("fig9", fig09_permutation),
-    ("fig10", fig10_background),
-    ("fig11", fig11_failures),
-    ("fig12", fig12_imbalance),
-    ("fig13", fig13_micro),
-    ("fig14", fig14_gdr),
-    ("fig15", fig15_virt),
-    ("fig16", fig16_llm),
-    ("table1", table1_comm),
-    ("claims", claims),
-    ("timeline", timeline),
-    ("chaos", chaos),
-    ("scale", scale),
-    ("recovery", recovery),
-    ("cluster", cluster),
+    ("fig6", fig06_startup, false),
+    ("fig8", fig08_atc, false),
+    ("fig9", fig09_permutation, true),
+    ("fig10", fig10_background, true),
+    ("fig11", fig11_failures, true),
+    ("fig12", fig12_imbalance, true),
+    ("fig13", fig13_micro, false),
+    ("fig14", fig14_gdr, false),
+    ("fig15", fig15_virt, true),
+    ("fig16", fig16_llm, true),
+    ("table1", table1_comm, false),
+    ("claims", claims, false),
+    ("timeline", timeline, true),
+    ("chaos", chaos, true),
+    ("scale", scale, true),
+    ("recovery", recovery, true),
+    ("cluster", cluster, true),
 ];
 
 /// Parsed command line.
@@ -144,6 +153,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
 /// Per-experiment perf sample from one pass.
 struct PerfRec {
     name: &'static str,
+    event_driven: bool,
     wall_ms: f64,
     events: u64,
     peak_queue_depth: u64,
@@ -188,6 +198,7 @@ fn run_selected(
             ring_high_water,
             trace_doc,
             name: exp.name,
+            event_driven: exp.event_driven,
         }
     });
     let mut outputs = Vec::with_capacity(results.len());
@@ -198,6 +209,7 @@ fn run_selected(
         traces.push(s.trace_doc);
         perf.push(PerfRec {
             name: s.name,
+            event_driven: s.event_driven,
             wall_ms: s.wall_ms,
             events: s.events,
             peak_queue_depth: s.peak_queue_depth,
@@ -215,6 +227,7 @@ struct PerfSample {
     ring_high_water: u64,
     trace_doc: Option<String>,
     name: &'static str,
+    event_driven: bool,
 }
 
 /// Build the `BENCH_reproduce.json` document from the threaded pass and
@@ -233,17 +246,27 @@ fn perf_report(
     let mut scenarios = Arr::new();
     for (p, bp) in perf.iter().zip(baseline) {
         let secs = p.wall_ms / 1e3;
-        scenarios = scenarios.push_raw(
-            &Obj::new()
-                .field_str("name", p.name)
-                .field_f64("wall_ms", p.wall_ms)
-                .field_u64("events", p.events)
+        // Analytic experiments never touch the event queue; their event
+        // counters are structurally zero, not measured, so the report
+        // says `null` instead of a misleading `0`.
+        let obj = Obj::new()
+            .field_str("name", p.name)
+            .field_bool("event_driven", p.event_driven)
+            .field_f64("wall_ms", p.wall_ms);
+        let obj = if p.event_driven {
+            obj.field_u64("events", p.events)
                 .field_f64(
                     "events_per_sec",
                     if secs > 0.0 { p.events as f64 / secs } else { 0.0 },
                 )
                 .field_u64("peak_queue_depth", p.peak_queue_depth)
-                .field_u64("ring_high_water", p.ring_high_water)
+        } else {
+            obj.field_raw("events", "null")
+                .field_raw("events_per_sec", "null")
+                .field_raw("peak_queue_depth", "null")
+        };
+        scenarios = scenarios.push_raw(
+            &obj.field_u64("ring_high_water", p.ring_high_water)
                 .field_f64("baseline_wall_ms", bp.wall_ms)
                 .field_f64("speedup", bp.wall_ms / p.wall_ms.max(1e-9))
                 .finish(),
@@ -273,6 +296,31 @@ fn perf_report(
                 .finish(),
         )
         .finish()
+}
+
+/// Reject silently-zero perf rows: an event-driven experiment that
+/// schedules nothing means the instrumentation hooks came unplugged (the
+/// exact failure mode that once shipped `events: 0` for live scenarios),
+/// and a supposedly analytic experiment that *does* schedule events is
+/// misclassified in the registry.
+fn validate_perf(perf: &[PerfRec]) -> Result<(), String> {
+    for p in perf {
+        if p.event_driven && p.events == 0 {
+            return Err(format!(
+                "perf: event-driven experiment '{}' reported 0 events; \
+                 scheduling instrumentation is broken",
+                p.name
+            ));
+        }
+        if !p.event_driven && p.events != 0 {
+            return Err(format!(
+                "perf: analytic experiment '{}' scheduled {} event(s); \
+                 mark it event-driven in the registry",
+                p.name, p.events
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn main() {
@@ -356,6 +404,12 @@ fn main() {
             eprintln!("error: trace output differs between {threads} thread(s) and 1 thread");
             std::process::exit(1);
         }
+        for pass in [&perf, &baseline] {
+            if let Err(message) = validate_perf(pass) {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
         let report = perf_report(
             args.quick,
             threads,
@@ -417,6 +471,72 @@ mod tests {
     #[test]
     fn list_flag_parses() {
         assert!(parse(&["--list"]).unwrap().list);
+    }
+
+    fn rec(name: &'static str, event_driven: bool, events: u64) -> PerfRec {
+        PerfRec {
+            name,
+            event_driven,
+            wall_ms: 10.0,
+            events,
+            peak_queue_depth: if events > 0 { 7 } else { 0 },
+            ring_high_water: 0,
+        }
+    }
+
+    #[test]
+    fn analytic_experiments_report_null_not_zero() {
+        // The six closed-form experiments must not pretend to have
+        // measured zero events — their rows carry JSON nulls.
+        let perf = [rec("fig6", false, 0), rec("fig9", true, 1000)];
+        let base = [rec("fig6", false, 0), rec("fig9", true, 1000)];
+        let report = perf_report(true, 8, 20.0, 40.0, &perf, &base);
+        assert!(
+            report.contains(
+                "\"event_driven\":false,\"wall_ms\":10.0,\"events\":null,\
+                 \"events_per_sec\":null,\"peak_queue_depth\":null"
+            ),
+            "analytic row must carry nulls: {report}"
+        );
+        assert!(
+            report.contains("\"events\":1000"),
+            "event-driven row must keep real counts: {report}"
+        );
+        assert!(
+            !report.contains("\"events\":0"),
+            "no silently-zero events field anywhere: {report}"
+        );
+    }
+
+    #[test]
+    fn zero_events_on_an_event_driven_row_is_an_error() {
+        let err = validate_perf(&[rec("fig9", true, 0)]).unwrap_err();
+        assert!(err.contains("fig9") && err.contains("0 events"), "{err}");
+    }
+
+    #[test]
+    fn events_on_an_analytic_row_is_an_error() {
+        let err = validate_perf(&[rec("fig6", false, 3)]).unwrap_err();
+        assert!(err.contains("fig6") && err.contains("3 event"), "{err}");
+    }
+
+    #[test]
+    fn mixed_valid_rows_pass_validation() {
+        validate_perf(&[rec("fig6", false, 0), rec("fig9", true, 14_470_309)]).unwrap();
+    }
+
+    #[test]
+    fn registry_marks_exactly_the_analytic_experiments() {
+        let analytic: Vec<&str> = EXPERIMENTS
+            .iter()
+            .filter(|e| !e.event_driven)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            analytic,
+            ["fig6", "fig8", "fig13", "fig14", "table1", "claims"],
+            "registry event_driven flags drifted from the bench modules"
+        );
     }
 
     #[test]

@@ -570,6 +570,9 @@ impl Network {
         let mut t = now;
         let mut ecn = false;
         let bytes_per_ns = self.config.link_gbps / 8.0;
+        // Every hop serializes the same payload at the same line rate, so
+        // the f64 division runs once per packet, not once per link.
+        let serialize = transmit_time(bytes, self.config.link_gbps);
         for &link_id in &route {
             let link = &mut self.links[link_id.0 as usize];
             if !link.up {
@@ -627,7 +630,7 @@ impl Network {
                 stage_sample(Stage::FabricQueueing, wait);
             }
             let start = if link.next_free > t { link.next_free } else { t };
-            let depart = start + transmit_time(bytes, self.config.link_gbps);
+            let depart = start + serialize;
             link.queue.set(t, backlog + bytes);
             link.next_free = depart;
             link.tx_bytes += bytes;

@@ -323,9 +323,9 @@ impl ClosTopology {
     /// Compute the link sequence from `src` to `dst` for `(flow, path_id)`.
     ///
     /// Returns an empty route when `src == dst` (host-local transfer).
-    pub fn route(&self, src: NicId, dst: NicId, flow: u64, path_id: u32) -> Vec<LinkId> {
+    pub fn route(&self, src: NicId, dst: NicId, flow: u64, path_id: u32) -> Route {
         if src == dst {
-            return Vec::new();
+            return Route::EMPTY;
         }
         let (src_host, src_rail) = self.nic_location(src);
         let (dst_host, dst_rail) = self.nic_location(dst);
@@ -347,10 +347,10 @@ impl ClosTopology {
 
         // Same segment + same rail: turn around at the shared ToR.
         if src_seg == dst_seg && src_rail == dst_rail {
-            return vec![
+            return Route::two(
                 self.nic_up[src_nic_idx][plane],
                 self.nic_down[dst_nic_idx][plane],
-            ];
+            );
         }
 
         // Cross-segment or cross-rail: via the aggregation layer. The
@@ -364,12 +364,72 @@ impl ClosTopology {
         let agg = (slot / self.config.planes as u64) as usize;
         let src_tor = self.dense_tor(src_seg, src_rail, plane);
         let dst_tor = self.dense_tor(dst_seg, dst_rail, plane);
-        vec![
+        Route::four(
             self.nic_up[src_nic_idx][plane],
             self.tor_up[src_tor][agg],
             self.tor_down[dst_tor][agg],
             self.nic_down[dst_nic_idx][plane],
-        ]
+        )
+    }
+}
+
+/// A route through the Clos fabric, stored inline (a 2-tier Clos never
+/// exceeds 4 hops: NIC up, ToR up, Agg down, ToR down).
+///
+/// [`ClosTopology::route`] runs once per simulated packet, so the route
+/// must not heap-allocate. It dereferences to `&[LinkId]`, so call sites
+/// index, iterate and `len()` exactly as they did when this was a `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    links: [LinkId; 4],
+    len: u8,
+}
+
+impl Route {
+    /// The empty (host-local) route.
+    pub const EMPTY: Route = Route {
+        links: [LinkId(0); 4],
+        len: 0,
+    };
+
+    fn two(a: LinkId, b: LinkId) -> Route {
+        Route {
+            links: [a, b, LinkId(0), LinkId(0)],
+            len: 2,
+        }
+    }
+
+    fn four(a: LinkId, b: LinkId, c: LinkId, d: LinkId) -> Route {
+        Route {
+            links: [a, b, c, d],
+            len: 4,
+        }
+    }
+}
+
+impl std::ops::Deref for Route {
+    type Target = [LinkId];
+
+    fn deref(&self) -> &[LinkId] {
+        &self.links[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a Route {
+    type Item = &'a LinkId;
+    type IntoIter = std::slice::Iter<'a, LinkId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for Route {
+    type Item = LinkId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<LinkId, 4>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.links.into_iter().take(self.len as usize)
     }
 }
 

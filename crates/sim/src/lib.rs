@@ -44,6 +44,7 @@
 
 pub mod bench_timer;
 mod cache;
+pub mod hash;
 pub mod json;
 pub mod par;
 pub mod proptest_lite;
@@ -52,8 +53,24 @@ mod rng;
 pub mod shrink;
 pub mod stats;
 mod time;
+mod wheel;
 
 pub use cache::LruCache;
-pub use queue::EventQueue;
+/// The binary-heap reference queue, kept for differential testing and
+/// `--features reference-queue` A/B perf runs.
+pub use queue::ReferenceQueue;
+/// The timing wheel under its explicit name, so the differential suite can
+/// name both implementations regardless of which one `EventQueue` aliases.
+pub use wheel::EventQueue as TimingWheelQueue;
+
+#[cfg(not(feature = "reference-queue"))]
+pub use wheel::EventQueue;
+
+#[cfg(feature = "reference-queue")]
+pub use queue::ReferenceQueue as EventQueue;
+
+#[cfg(feature = "queue-drill")]
+pub use wheel::drill as queue_drill;
+
 pub use rng::SimRng;
 pub use time::{transmit_time, SimDuration, SimTime};

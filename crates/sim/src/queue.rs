@@ -1,22 +1,30 @@
-//! The event queue at the heart of the discrete-event simulator.
+//! The binary-heap reference event queue.
 //!
 //! Events are ordered by timestamp; events with equal timestamps pop in the
 //! order they were scheduled (FIFO tie-break via a monotonically increasing
 //! sequence number). This tie-break is what makes runs deterministic: a
 //! plain `BinaryHeap` over `(time, payload)` would pop equal-time events in
 //! an order that depends on heap internals.
+//!
+//! This implementation is the **reference model**: `O(log n)` per
+//! operation, small enough to audit by eye. The production scheduler is
+//! the hierarchical timing wheel in [`crate::wheel`]; the differential
+//! suite (`tests/queue_diff.rs`) and the golden corpus hold the wheel to
+//! this queue's exact observable behaviour. Build with
+//! `--features reference-queue` to alias `EventQueue` back to this type
+//! for A/B perf runs.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// A deterministic timestamped event queue.
+/// A deterministic timestamped event queue (binary-heap reference model).
 ///
 /// The payload type `E` is defined by each simulator (fabric, RNIC, ...);
 /// the queue imposes no trait bounds beyond what the heap needs internally.
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct ReferenceQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
     now: SimTime,
@@ -50,7 +58,7 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> ReferenceQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         Self::with_capacity(0)
@@ -60,7 +68,7 @@ impl<E> EventQueue<E> {
     /// construction paths (one simulator per experiment × seed) use this
     /// to skip the heap's incremental regrowth.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
+        ReferenceQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -126,6 +134,21 @@ impl<E> EventQueue<E> {
         Some((entry.at, entry.event))
     }
 
+    /// Drain **every** event at the next (minimal) timestamp into `out`, in
+    /// FIFO order, advancing the clock to that timestamp. Returns the
+    /// timestamp, or `None` if the queue is empty. `out` is appended to,
+    /// not cleared. Mirrors the timing wheel's batched drain so either
+    /// implementation can sit under `TransportSim`.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        let (at, first) = self.pop()?;
+        out.push(first);
+        while self.peek_time() == Some(at) {
+            let (_, e) = self.pop().expect("peeked entry vanished");
+            out.push(e);
+        }
+        Some(at)
+    }
+
     /// The timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.at)
@@ -148,14 +171,14 @@ impl<E> EventQueue<E> {
     }
 
     /// The deepest pending-event backlog this queue has reached since
-    /// construction (or the last [`EventQueue::clear`]) — the memory
+    /// construction (or the last [`ReferenceQueue::clear`]) — the memory
     /// high-water mark of the run.
     pub fn peak_len(&self) -> usize {
         self.peak_len
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for ReferenceQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -172,7 +195,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(t(30), "c");
         q.schedule(t(10), "a");
         q.schedule(t(20), "b");
@@ -182,7 +205,7 @@ mod tests {
 
     #[test]
     fn equal_times_pop_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         for i in 0..100 {
             q.schedule(t(5), i);
         }
@@ -192,7 +215,7 @@ mod tests {
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(t(7), ());
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.peek_time(), Some(t(7)));
@@ -203,7 +226,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "before current time")]
     fn scheduling_in_the_past_panics() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(t(10), ());
         q.pop();
         q.schedule(t(5), ());
@@ -211,7 +234,7 @@ mod tests {
 
     #[test]
     fn len_and_counters() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        let mut q: ReferenceQueue<()> = ReferenceQueue::new();
         assert!(q.is_empty());
         q.schedule(t(1), ());
         q.schedule(t(2), ());
@@ -224,7 +247,7 @@ mod tests {
 
     #[test]
     fn with_capacity_presizes() {
-        let q: EventQueue<()> = EventQueue::with_capacity(64);
+        let q: ReferenceQueue<()> = ReferenceQueue::with_capacity(64);
         assert!(q.capacity() >= 64);
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::ZERO);
@@ -232,7 +255,7 @@ mod tests {
 
     #[test]
     fn clear_resets_state_but_keeps_allocation() {
-        let mut q = EventQueue::with_capacity(128);
+        let mut q = ReferenceQueue::with_capacity(128);
         for i in 0..100 {
             q.schedule(t(i + 1), i);
         }
@@ -254,7 +277,7 @@ mod tests {
 
     #[test]
     fn peak_len_tracks_high_water() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         for i in 0..10 {
             q.schedule(t(i + 1), ());
         }
@@ -270,7 +293,7 @@ mod tests {
     #[test]
     fn rescheduling_at_current_time_is_allowed() {
         // An event may schedule follow-up work "now" (zero-latency hop).
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule(t(3), 1u8);
         q.pop();
         q.schedule(t(3), 2u8);

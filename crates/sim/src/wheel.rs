@@ -1,0 +1,899 @@
+//! Hierarchical timing-wheel event queue — the production scheduler.
+//!
+//! This is the O(1)-amortized replacement for the binary-heap
+//! [`ReferenceQueue`](crate::ReferenceQueue). Events live in one of three
+//! places:
+//!
+//! * **Wheel levels** — four levels of 1024 slots each. Level `L` slots
+//!   are `2^(10·L)` ns wide, so level 0 resolves single nanoseconds
+//!   (fabric and PCIe hops), level 1 spans 1 µs–1 ms (pacing, RTO),
+//!   level 2 reaches ~1 s, and level 3 slots are ~1.07 s wide (recovery
+//!   backoff, BGP convergence, boot). The four levels together span a
+//!   2^40 ns ≈ 18.3 min horizon. Wide levels keep cascade counts low: a
+//!   1 ms RTO timer migrates at most twice before firing.
+//! * **Overflow list** — events scheduled beyond the current horizon block
+//!   (`at` and the wheel cursor differ above bit 40). Rare by construction:
+//!   the longest native timescale (10 s BGP convergence) fits the horizon,
+//!   so overflow only triggers near block boundaries or in far-future
+//!   stress tests.
+//! * **Ready run** — a sorted `(at, seq)` buffer of events whose time has
+//!   come. [`EventQueue::pop`] and [`EventQueue::pop_batch`] consume it
+//!   with a moving head index, so a same-timestamp burst drains with no
+//!   per-event comparator work at all.
+//!
+//! **Level selection** is the XOR trick used by kernel timer wheels: the
+//! level of an event is the 10-bit group of the highest bit where `at`
+//! differs from the wheel cursor. Because the cursor only advances, an
+//! event's slot index at its level is always strictly ahead of the cursor,
+//! so "earliest event" is simply "lowest occupied level, lowest set bit" —
+//! no intra-level wrap-around to reason about.
+//!
+//! **Ordering contract** (identical to the reference heap): pops are
+//! globally ordered by `(at, seq)` where `seq` is the schedule order. Two
+//! facts make this hold across tier migration: (1) equal-`at` events always
+//! occupy the *same* slot — the shared prefix of `at` and the cursor
+//! lengthens monotonically as the cursor advances, so a later insert of the
+//! same timestamp can never land in a finer level while an earlier one
+//! still waits in a coarser slot — and (2) a level-0 slot is one nanosecond
+//! wide, i.e. a single exact timestamp, so sorting its entries by `seq` at
+//! drain time restores FIFO regardless of the order cascades delivered
+//! them.
+//!
+//! **Arena**: event payloads live in a slab (`Vec<Node<E>>` plus an
+//! intrusive free list); wheel slots and the overflow list store `u32` node
+//! indices. Nodes are recycled on pop, so steady-state simulation performs
+//! zero allocator traffic per event, and [`EventQueue::clear`] keeps the
+//! slab allocation so repeated seed runs reuse it.
+
+use crate::time::SimTime;
+
+/// Bits per wheel level: 1024 slots each. Wide levels keep cascade counts
+/// low — a 1 ms RTO timer sits one level above the ns-resolution level and
+/// migrates at most twice before firing, where 64-slot levels would walk
+/// it down three or four tiers.
+const SLOT_BITS: u32 = 10;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels. Four levels of 10 bits span 2^40 ns ≈ 18.3 min.
+const LEVELS: usize = 4;
+/// Bits covered by the whole wheel; `at ^ cursor >= 2^40` goes to overflow.
+const HORIZON_BITS: u32 = SLOT_BITS * LEVELS as u32;
+/// Words of the per-level occupancy bitmap (one bit per slot).
+const OCC_WORDS: usize = SLOTS / 64;
+/// Null node index (slab sentinel).
+const NIL: u32 = u32::MAX;
+
+/// Sabotage knobs for the mutation drill (`--features queue-drill`).
+///
+/// Each mode injects one realistic wheel bug so the differential suite and
+/// golden gates can prove they would catch it. The knob is thread-local and
+/// defaults to [`Mode::None`]; production builds do not compile this module
+/// at all.
+#[cfg(feature = "queue-drill")]
+pub mod drill {
+    use std::cell::Cell;
+
+    /// Which wheel bug to inject.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Mode {
+        /// No sabotage; the wheel behaves normally.
+        None,
+        /// Wrong tier math: cascading a level-`L` slot truncates each
+        /// event's timestamp to the level-`L-1` slot width (drops the low
+        /// bits), so events fire early on coarse-tier boundaries.
+        WrongTier,
+        /// A horizon block jump leaves one eligible overflow entry behind
+        /// whenever two or more are eligible, delaying it past events it
+        /// should precede.
+        DropOverflowMigration,
+        /// Level-0 slots drain in *descending* seq order, turning the
+        /// equal-timestamp FIFO contract into LIFO.
+        BreakFifo,
+    }
+
+    thread_local! {
+        static MODE: Cell<Mode> = const { Cell::new(Mode::None) };
+    }
+
+    /// Arm (or with [`Mode::None`], disarm) the sabotage for this thread.
+    pub fn set(mode: Mode) {
+        MODE.with(|m| m.set(mode));
+    }
+
+    pub(super) fn mode() -> Mode {
+        MODE.with(|m| m.get())
+    }
+}
+
+/// A deterministic timestamped event queue backed by a hierarchical timing
+/// wheel.
+///
+/// Drop-in replacement for the binary-heap
+/// [`ReferenceQueue`](crate::ReferenceQueue): same API, same `(time, seq)`
+/// FIFO ordering contract, same observables (`now`, `scheduled_total`,
+/// `peak_len`), verified byte-for-byte by the differential suite in
+/// `tests/queue_diff.rs` and the golden corpus.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// Slab arena: all pending events' payloads and intrusive list links.
+    nodes: Vec<Node<E>>,
+    /// Head of the free list through `nodes` (NIL when the slab is full).
+    free_head: u32,
+    /// Per-level slot heads (indices into `nodes`).
+    levels: [[u32; SLOTS]; LEVELS],
+    /// Per-level bitmap of non-empty slots, 16 words of 64 slots each.
+    occupied: [[u64; OCC_WORDS]; LEVELS],
+    /// Per-level summary: bit `w` set iff `occupied[level][w] != 0`, so
+    /// level-empty checks and first-slot scans are O(1), not 16 words.
+    occupied_sum: [u64; LEVELS],
+    /// Events beyond the current 2^36 ns horizon block.
+    overflow: Vec<u32>,
+    /// Due events in `(at, seq)` order, consumed from `ready_head`.
+    ready: Vec<Ready<E>>,
+    ready_head: usize,
+    /// Scratch for sorting a level-0 slot by seq at drain time.
+    drain_buf: Vec<(u64, u32)>,
+    /// Wheel cursor in ns. Monotone; `>= now` except transiently never.
+    wheel_time: u64,
+    /// Pending events across ready + levels + overflow.
+    len: usize,
+    next_seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+    peak_len: usize,
+}
+
+#[derive(Debug)]
+struct Node<E> {
+    at: u64,
+    seq: u64,
+    /// Next node in the slot list (or free list) — NIL terminates.
+    next: u32,
+    /// `None` only while the node sits on the free list.
+    event: Option<E>,
+}
+
+#[derive(Debug)]
+struct Ready<E> {
+    at: u64,
+    seq: u64,
+    /// `None` after the entry has been popped (head already moved past).
+    event: Option<E>,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for `capacity` pending events. Hot
+    /// construction paths (one simulator per experiment × seed) use this
+    /// to skip the arena's incremental regrowth.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            nodes: Vec::with_capacity(capacity),
+            free_head: NIL,
+            levels: [[NIL; SLOTS]; LEVELS],
+            occupied: [[0; OCC_WORDS]; LEVELS],
+            occupied_sum: [0; LEVELS],
+            overflow: Vec::new(),
+            ready: Vec::new(),
+            ready_head: 0,
+            drain_buf: Vec::new(),
+            wheel_time: 0,
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// Drop all pending events and reset every observable to its initial
+    /// state: [`now`](Self::now) returns [`SimTime::ZERO`],
+    /// [`scheduled_total`](Self::scheduled_total) and
+    /// [`peak_len`](Self::peak_len) return 0, and the FIFO tie-break
+    /// sequence restarts (so a cleared queue schedules and pops exactly
+    /// like a fresh one). Only the allocations (arena, overflow, ready
+    /// run) are kept, so repeated seed runs reuse them instead of
+    /// rebuilding from scratch — this is what makes `TransportSim::reset`
+    /// observably identical to constructing a new sim.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free_head = NIL;
+        self.levels = [[NIL; SLOTS]; LEVELS];
+        self.occupied = [[0; OCC_WORDS]; LEVELS];
+        self.occupied_sum = [0; LEVELS];
+        self.overflow.clear();
+        self.ready.clear();
+        self.ready_head = 0;
+        self.drain_buf.clear();
+        self.wheel_time = 0;
+        self.len = 0;
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.scheduled_total = 0;
+        self.peak_len = 0;
+    }
+
+    /// Events the arena can hold without reallocating (reuse tests).
+    pub fn capacity(&self) -> usize {
+        self.nodes.capacity()
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling behind the clock would
+    /// silently corrupt causality, so it is treated as a logic bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} is before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        crate::par::record_scheduled_event();
+        let atn = at.as_nanos();
+        if atn <= self.wheel_time {
+            // The cursor may sit ahead of `now` (it advances lazily on
+            // peek), so a legal schedule can land at or behind it: merge
+            // into the sorted ready run. `seq` is larger than every
+            // pending seq, so the insertion point is `>= ready_head`.
+            self.insert_ready(atn, seq, event);
+        } else {
+            let idx = self.alloc(atn, seq, event);
+            self.place(idx);
+        }
+        self.len += 1;
+        if self.len > self.peak_len {
+            self.peak_len = self.len;
+            crate::par::note_queue_depth(self.peak_len as u64);
+        }
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.ready_head >= self.ready.len() {
+            self.advance();
+        }
+        let r = &mut self.ready[self.ready_head];
+        let at = SimTime::from_nanos(r.at);
+        let event = r.event.take().expect("ready entry popped twice");
+        self.ready_head += 1;
+        self.len -= 1;
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Drain **every** event at the next (minimal) timestamp into `out`, in
+    /// FIFO order, advancing the clock to that timestamp. Returns the
+    /// timestamp, or `None` if the queue is empty. `out` is appended to,
+    /// not cleared.
+    ///
+    /// Equivalent to popping while [`peek_time`](Self::peek_time) equals the
+    /// first pop's time — but without per-event peek/compare work, which is
+    /// what makes same-timestamp delivery bursts (ACK fan-in, collective
+    /// step edges) cheap. Events scheduled *at* the drained timestamp by
+    /// the caller afterwards form a new batch at the same time: they carry
+    /// higher seqs, exactly as unbatched pops would order them.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.ready_head >= self.ready.len() {
+            self.advance();
+        }
+        let at = self.ready[self.ready_head].at;
+        while let Some(r) = self.ready.get_mut(self.ready_head) {
+            if r.at != at {
+                break;
+            }
+            out.push(r.event.take().expect("ready entry popped twice"));
+            self.ready_head += 1;
+            self.len -= 1;
+        }
+        let t = SimTime::from_nanos(at);
+        self.now = t;
+        Some(t)
+    }
+
+    /// The timestamp of the next event without popping it.
+    ///
+    /// Takes `&mut self`: the wheel advances its cursor lazily (cascading
+    /// coarse slots into finer ones) to discover the next event. This is
+    /// invisible to every observable — `now`, pop order, counters — and
+    /// the sole production call site (`TransportSim::run`) holds `&mut`.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.ready_head >= self.ready.len() {
+            self.advance();
+        }
+        self.ready
+            .get(self.ready_head)
+            .map(|r| SimTime::from_nanos(r.at))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled (a cheap progress/size metric
+    /// for run reports and runaway detection in tests).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// The deepest pending-event backlog this queue has reached since
+    /// construction (or the last [`EventQueue::clear`]) — the memory
+    /// high-water mark of the run.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    /// Allocate a slab node, reusing the free list when possible.
+    fn alloc(&mut self, at: u64, seq: u64, event: E) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let n = &mut self.nodes[idx as usize];
+            self.free_head = n.next;
+            n.at = at;
+            n.seq = seq;
+            n.next = NIL;
+            n.event = Some(event);
+            idx
+        } else {
+            let idx = self.nodes.len();
+            assert!(idx < NIL as usize, "event arena exceeded u32 indices");
+            self.nodes.push(Node {
+                at,
+                seq,
+                next: NIL,
+                event: Some(event),
+            });
+            idx as u32
+        }
+    }
+
+    /// Return a node's payload and put the node on the free list.
+    fn release(&mut self, idx: u32) -> E {
+        let n = &mut self.nodes[idx as usize];
+        let event = n.event.take().expect("released an empty arena node");
+        n.next = self.free_head;
+        self.free_head = idx;
+        event
+    }
+
+    /// Insert an allocated node into the wheel level/slot (or overflow)
+    /// derived from its timestamp. Requires `at > wheel_time`.
+    fn place(&mut self, idx: u32) {
+        let at = self.nodes[idx as usize].at;
+        debug_assert!(at > self.wheel_time);
+        let xor = at ^ self.wheel_time;
+        if xor >> HORIZON_BITS != 0 {
+            // Different 2^36 ns block: beyond the wheel's horizon.
+            self.overflow.push(idx);
+            return;
+        }
+        let level = ((63 - xor.leading_zeros()) / SLOT_BITS) as usize;
+        let slot = ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.nodes[idx as usize].next = self.levels[level][slot];
+        self.levels[level][slot] = idx;
+        self.occupied[level][slot / 64] |= 1u64 << (slot % 64);
+        self.occupied_sum[level] |= 1u64 << (slot / 64);
+    }
+
+    /// Re-home a node after a cascade or horizon jump moved the cursor:
+    /// due nodes melt into the ready run, the rest re-enter the wheel at a
+    /// finer level.
+    fn reinsert(&mut self, idx: u32) {
+        let n = &self.nodes[idx as usize];
+        if n.at <= self.wheel_time {
+            let (at, seq) = (n.at, n.seq);
+            let event = self.release(idx);
+            self.insert_ready(at, seq, event);
+        } else {
+            self.place(idx);
+        }
+    }
+
+    /// Merge an event into the sorted ready run at its `(at, seq)` rank.
+    fn insert_ready(&mut self, at: u64, seq: u64, event: E) {
+        let tail = &self.ready[self.ready_head..];
+        let pos = tail.partition_point(|r| (r.at, r.seq) < (at, seq));
+        self.ready.insert(
+            self.ready_head + pos,
+            Ready {
+                at,
+                seq,
+                event: Some(event),
+            },
+        );
+    }
+
+    /// Advance the cursor to the next pending event and fill the ready run
+    /// with its level-0 slot (every event sharing that exact timestamp).
+    /// Requires at least one event outside the ready run.
+    fn advance(&mut self) {
+        debug_assert!(self.ready_head >= self.ready.len());
+        debug_assert!(self.len > 0);
+        self.ready.clear();
+        self.ready_head = 0;
+        loop {
+            if !self.ready.is_empty() {
+                // A cascade or jump landed exact-timestamp events directly
+                // in the ready run; they are the earliest by construction.
+                return;
+            }
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied_sum[l] != 0) else {
+                debug_assert!(
+                    !self.overflow.is_empty(),
+                    "len > 0 but wheel, ready and overflow are all empty"
+                );
+                self.horizon_jump();
+                continue;
+            };
+            let word = self.occupied_sum[level].trailing_zeros() as usize;
+            let slot = word * 64 + self.occupied[level][word].trailing_zeros() as usize;
+            let width_bits = SLOT_BITS * level as u32;
+            let above = width_bits + SLOT_BITS;
+            let slot_start =
+                (self.wheel_time & !((1u64 << above) - 1)) | ((slot as u64) << width_bits);
+            // XOR level selection guarantees occupied slots sit ahead of
+            // the cursor, so the cursor only ever moves forward here.
+            debug_assert!(slot_start >= self.wheel_time);
+            self.wheel_time = slot_start;
+            let mut idx = self.levels[level][slot];
+            self.levels[level][slot] = NIL;
+            self.occupied[level][slot / 64] &= !(1u64 << (slot % 64));
+            if self.occupied[level][slot / 64] == 0 {
+                self.occupied_sum[level] &= !(1u64 << (slot / 64));
+            }
+            if level == 0 {
+                // A level-0 slot is one exact nanosecond: restore FIFO by
+                // sorting on seq alone, whatever order cascades used.
+                #[cfg(not(feature = "queue-drill"))]
+                if self.nodes[idx as usize].next == NIL {
+                    // Single event at this nanosecond — the overwhelmingly
+                    // common case — skips the drain buffer and sort.
+                    let n = &self.nodes[idx as usize];
+                    let (at, seq) = (n.at, n.seq);
+                    debug_assert_eq!(at, slot_start);
+                    let event = self.release(idx);
+                    self.ready.push(Ready {
+                        at,
+                        seq,
+                        event: Some(event),
+                    });
+                    return;
+                }
+                let mut drain = std::mem::take(&mut self.drain_buf);
+                drain.clear();
+                while idx != NIL {
+                    let n = &self.nodes[idx as usize];
+                    debug_assert_eq!(n.at, slot_start);
+                    drain.push((n.seq, idx));
+                    idx = n.next;
+                }
+                drain.sort_unstable();
+                #[cfg(feature = "queue-drill")]
+                if drill::mode() == drill::Mode::BreakFifo {
+                    drain.reverse();
+                }
+                for &(seq, node) in &drain {
+                    let event = self.release(node);
+                    self.ready.push(Ready {
+                        at: slot_start,
+                        seq,
+                        event: Some(event),
+                    });
+                }
+                self.drain_buf = drain;
+                return;
+            }
+            // Cascade the coarse slot into finer levels (strictly lower:
+            // each entry now differs from the cursor below `width_bits`).
+            while idx != NIL {
+                let next = self.nodes[idx as usize].next;
+                #[cfg(feature = "queue-drill")]
+                if drill::mode() == drill::Mode::WrongTier && width_bits > SLOT_BITS {
+                    let n = &mut self.nodes[idx as usize];
+                    n.at &= !((1u64 << (width_bits - SLOT_BITS)) - 1);
+                }
+                self.reinsert(idx);
+                idx = next;
+            }
+        }
+    }
+
+    /// All wheel levels are empty but overflow is not: jump the cursor to
+    /// the horizon block of the earliest overflow entry and migrate every
+    /// entry of that block into the wheel.
+    fn horizon_jump(&mut self) {
+        let mut min_at = u64::MAX;
+        for &idx in &self.overflow {
+            min_at = min_at.min(self.nodes[idx as usize].at);
+        }
+        let block = min_at >> HORIZON_BITS;
+        self.wheel_time = block << HORIZON_BITS;
+        #[cfg(feature = "queue-drill")]
+        let mut skip_one = drill::mode() == drill::Mode::DropOverflowMigration
+            && self
+                .overflow
+                .iter()
+                .filter(|&&idx| self.nodes[idx as usize].at >> HORIZON_BITS == block)
+                .count()
+                >= 2;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let idx = self.overflow[i];
+            if self.nodes[idx as usize].at >> HORIZON_BITS == block {
+                #[cfg(feature = "queue-drill")]
+                if skip_one {
+                    skip_one = false;
+                    i += 1;
+                    continue;
+                }
+                self.overflow.swap_remove(i);
+                self.reinsert(idx);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peek_time(), Some(t(7)));
+        q.pop();
+        assert_eq!(q.now(), t(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let q: EventQueue<()> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clear_resets_state_but_keeps_allocation() {
+        let mut q = EventQueue::with_capacity(128);
+        for i in 0..100 {
+            q.schedule(t(i + 1), i);
+        }
+        q.pop();
+        assert!(q.now() > SimTime::ZERO);
+        let cap = q.capacity();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.capacity(), cap, "clear must keep the allocation");
+        // The FIFO sequence restarted: a fresh run is indistinguishable
+        // from one on a newly-built queue.
+        q.schedule(t(5), 1u64);
+        q.schedule(t(5), 2u64);
+        assert_eq!(q.pop(), Some((t(5), 1)));
+        assert_eq!(q.pop(), Some((t(5), 2)));
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(i + 1), ());
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        q.schedule(t(100), ());
+        assert_eq!(q.peak_len(), 10, "peak survives draining");
+        q.clear();
+        assert_eq!(q.peak_len(), 0, "clear resets the mark");
+    }
+
+    #[test]
+    fn rescheduling_at_current_time_is_allowed() {
+        // An event may schedule follow-up work "now" (zero-latency hop).
+        let mut q = EventQueue::new();
+        q.schedule(t(3), 1u8);
+        q.pop();
+        q.schedule(t(3), 2u8);
+        assert_eq!(q.pop(), Some((t(3), 2)));
+    }
+
+    #[test]
+    fn cascade_preserves_order_across_tiers() {
+        // Timestamps chosen to land on levels 0..=4 and to interleave
+        // coarse-tier cascades with fine-tier pops.
+        let mut q = EventQueue::new();
+        let times = [
+            5u64,
+            63,
+            64,
+            4_095,
+            4_097,
+            262_143,
+            262_145,
+            16_777_215,
+            16_777_217,
+            1_000_000_000,
+        ];
+        for (i, &n) in times.iter().enumerate() {
+            q.schedule(ns(n), i);
+        }
+        let mut sorted: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        sorted.sort_unstable();
+        let popped: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(at, e)| (at.as_nanos(), e))
+            .collect();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn equal_timestamps_fifo_across_cursor_positions() {
+        // Schedule the same far timestamp from several cursor positions:
+        // the entries land in the same slot at different wall-clock
+        // moments (and thus arrive at level 0 in cascade order, not seq
+        // order) yet must still pop FIFO.
+        let mut q = EventQueue::new();
+        let target = ns(50_000);
+        q.schedule(target, 0u32); // from cursor 0 (level 2)
+        q.schedule(ns(40_000), 100);
+        q.schedule(target, 1);
+        while let Some(t) = q.peek_time() {
+            if t >= target {
+                break;
+            }
+            q.pop();
+        }
+        q.schedule(target, 2); // cursor now close: finer level
+        let rest: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(rest, [0, 1, 2]);
+    }
+
+    #[test]
+    fn far_future_overflow_round_trips() {
+        // 2^36 ns ≈ 68.7 s is the horizon: a 10-minute timer crosses
+        // multiple horizon blocks and must still pop in order.
+        let mut q = EventQueue::new();
+        let far = 600_000_000_000u64; // 10 min
+        let farther = 600_000_000_001u64;
+        q.schedule(ns(farther), "b");
+        q.schedule(ns(far), "a");
+        q.schedule(ns(7), "near");
+        assert_eq!(q.pop(), Some((ns(7), "near")));
+        assert_eq!(q.pop(), Some((ns(far), "a")));
+        assert_eq!(q.pop(), Some((ns(farther), "b")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_equal_timestamps_stay_fifo() {
+        let mut q = EventQueue::new();
+        let far = ns(3 * (1u64 << HORIZON_BITS) + 12345);
+        for i in 0..50 {
+            q.schedule(far, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overflow_blocks_migrate_in_order() {
+        // Entries spread over three horizon blocks, scheduled shuffled.
+        let mut q = EventQueue::new();
+        let block = 1u64 << HORIZON_BITS;
+        let times = [
+            2 * block + 5,
+            block + 9,
+            3 * block,
+            block,
+            2 * block + 4,
+            block + 1,
+        ];
+        for (i, &n) in times.iter().enumerate() {
+            q.schedule(ns(n), i);
+        }
+        let mut sorted: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        sorted.sort_unstable();
+        let popped: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(at, e)| (at.as_nanos(), e))
+            .collect();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn schedule_behind_advanced_cursor_merges_into_ready() {
+        // peek advances the cursor; a schedule between now and the cursor
+        // must still pop at its proper (earlier) rank.
+        let mut q = EventQueue::new();
+        q.schedule(ns(100), "pop-me");
+        q.schedule(ns(5_000), "later");
+        assert_eq!(q.pop(), Some((ns(100), "pop-me")));
+        // Cursor has advanced at least to 100; peek drags it to 5_000's
+        // level-0 slot.
+        assert_eq!(q.peek_time(), Some(ns(5_000)));
+        q.schedule(ns(200), "middle");
+        assert_eq!(q.pop(), Some((ns(200), "middle")));
+        assert_eq!(q.pop(), Some((ns(5_000), "later")));
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_one_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(t(10), i);
+        }
+        q.schedule(t(20), 99);
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_batch(&mut buf), Some(t(10)));
+        assert_eq!(buf, [0, 1, 2, 3, 4]);
+        assert_eq!(q.now(), t(10));
+        assert_eq!(q.len(), 1);
+        buf.clear();
+        assert_eq!(q.pop_batch(&mut buf), Some(t(20)));
+        assert_eq!(buf, [99]);
+        assert_eq!(q.pop_batch(&mut buf), None);
+    }
+
+    #[test]
+    fn pop_batch_then_same_time_schedule_forms_new_batch() {
+        // Mirrors the transport loop: a handler scheduling at the drained
+        // timestamp produces a follow-up batch at the same time.
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1u32);
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_batch(&mut buf), Some(t(10)));
+        assert_eq!(buf, [1]);
+        q.schedule(t(10), 2u32);
+        buf.clear();
+        assert_eq!(q.pop_batch(&mut buf), Some(t(10)));
+        assert_eq!(buf, [2]);
+    }
+
+    #[test]
+    fn arena_recycles_nodes() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..1000u64 {
+                q.schedule(ns(round * 1000 + i + 1), i);
+            }
+            while q.pop().is_some() {}
+        }
+        // The slab never grows past one round's worth of nodes.
+        assert!(
+            q.capacity() <= 2048,
+            "arena grew to {} for a working set of 1000",
+            q.capacity()
+        );
+    }
+
+    #[test]
+    fn dense_random_workload_matches_sorted_order() {
+        // A deterministic LCG mixes all tiers, dense ties included; a
+        // (time, seq) min-heap is the trusted model.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = EventQueue::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut expect: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        for seq in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(seq);
+            let spread = match state % 5 {
+                0 => state % 8,              // dense ties near now
+                1 => state % 4_000,          // level 0–1
+                2 => state % 1_000_000,      // level 2–3
+                3 => state % 500_000_000,    // level 4
+                _ => state % 80_000_000_000, // level 5 + overflow
+            };
+            let at = now + spread;
+            q.schedule(ns(at), seq);
+            expect.push(Reverse((at, seq)));
+            if state.is_multiple_of(3) {
+                if let Some((t, got)) = q.pop() {
+                    let Reverse((et, eseq)) = expect.pop().unwrap();
+                    assert_eq!((t.as_nanos(), got), (et, eseq));
+                    now = et;
+                }
+            }
+        }
+        while let Some(Reverse((et, eseq))) = expect.pop() {
+            let (t, got) = q.pop().expect("queue drained early");
+            assert_eq!((t.as_nanos(), got), (et, eseq));
+        }
+        assert!(q.pop().is_none());
+    }
+}

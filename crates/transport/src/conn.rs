@@ -8,7 +8,8 @@
 //! packet has landed, regardless of arrival order. Duplicates (RTO
 //! retransmissions racing the original) are absorbed idempotently.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
 
 use stellar_net::NicId;
 use stellar_sim::SimTime;
@@ -47,6 +48,125 @@ pub struct InflightPacket {
     pub sent_at: SimTime,
     /// Retransmission count.
     pub retx: u32,
+}
+
+/// Direct-mapped table of in-flight packets keyed by sequence number.
+///
+/// Sequence numbers are dense and monotone, and the live span (newest
+/// minus oldest unacked) tracks the congestion window, so a power-of-two
+/// ring indexed by `seq & mask` almost never collides; when the span
+/// outgrows the table it doubles and re-places every entry. Single-probe
+/// get/insert/remove beats a hash map on the per-packet fast path
+/// (deliver, ack, and RTO each hit this table once per packet).
+#[derive(Debug, Default)]
+pub struct InflightTable {
+    /// `slots[seq & mask]` holds `(seq, packet)`; allocation is lazy so
+    /// idle connections (large-cluster sims) cost nothing.
+    slots: Vec<Option<(u64, InflightPacket)>>,
+    len: usize,
+}
+
+impl InflightTable {
+    /// Initial slot count on first insert (fits a typical BDP window).
+    const MIN_SLOTS: usize = 64;
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        self.slots.len() as u64 - 1
+    }
+
+    /// Number of packets in flight.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packet with sequence number `seq`, if in flight.
+    #[inline]
+    pub fn get(&self, seq: u64) -> Option<&InflightPacket> {
+        match self.slots.get((seq & self.mask()) as usize)? {
+            Some((s, pkt)) if *s == seq => Some(pkt),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the packet with sequence number `seq`.
+    #[inline]
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut InflightPacket> {
+        let mask = self.mask();
+        match self.slots.get_mut((seq & mask) as usize)? {
+            Some((s, pkt)) if *s == seq => Some(pkt),
+            _ => None,
+        }
+    }
+
+    /// Insert `pkt` under `seq`. `seq` must not already be present (the
+    /// transport allocates each sequence number once).
+    pub fn insert(&mut self, seq: u64, pkt: InflightPacket) {
+        if self.slots.is_empty() {
+            self.slots.resize_with(Self::MIN_SLOTS, || None);
+        }
+        loop {
+            let slot = (seq & self.mask()) as usize;
+            match &self.slots[slot] {
+                None => {
+                    self.slots[slot] = Some((seq, pkt));
+                    self.len += 1;
+                    return;
+                }
+                Some((s, _)) => {
+                    debug_assert_ne!(*s, seq, "sequence number inserted twice");
+                    self.grow();
+                }
+            }
+        }
+    }
+
+    /// Remove and return the packet under `seq`, if in flight.
+    pub fn remove(&mut self, seq: u64) -> Option<InflightPacket> {
+        let mask = self.mask();
+        let slot = self.slots.get_mut((seq & mask) as usize)?;
+        match slot {
+            Some((s, _)) if *s == seq => {
+                let (_, pkt) = slot.take().expect("just matched");
+                self.len -= 1;
+                Some(pkt)
+            }
+            _ => None,
+        }
+    }
+
+    /// Drop every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterate over the in-flight packets (arbitrary order).
+    pub fn values(&self) -> impl Iterator<Item = &InflightPacket> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(_, p)| p))
+    }
+
+    /// Double the table until the colliding span fits, re-placing every
+    /// entry at its new slot.
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(Self::MIN_SLOTS);
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(new_len, || None);
+        for entry in old.into_iter().flatten() {
+            let slot = (entry.0 & self.mask()) as usize;
+            debug_assert!(self.slots[slot].is_none(), "doubling separates live seqs");
+            self.slots[slot] = Some(entry);
+        }
+    }
 }
 
 /// Per-message receive/ack progress.
@@ -262,12 +382,16 @@ pub struct Connection {
     pub dst: NicId,
     /// Unsent packets, FIFO.
     pub unsent: VecDeque<PendingPacket>,
-    /// In-flight packets by sequence number.
-    pub inflight: HashMap<u64, InflightPacket>,
+    /// In-flight packets by sequence number (deliver, ack and RTO each
+    /// look up here once per packet, so this is a direct-mapped table,
+    /// not a hash map).
+    pub inflight: InflightTable,
     /// In-flight payload bytes (window accounting).
     pub inflight_bytes: u64,
-    /// Per-message state.
-    pub messages: HashMap<MsgId, MessageState>,
+    /// Per-message state, indexed by [`MsgId`] (ids are dense sequence
+    /// numbers and messages live for the connection's lifetime, so a
+    /// plain vector beats any map on the per-packet lookup path).
+    pub messages: Vec<MessageState>,
     /// Posted receive buffers (two-sided verbs), FIFO-matched.
     pub recv_queue: VecDeque<u64>,
     /// Statistics.
@@ -294,9 +418,9 @@ impl Connection {
             src,
             dst,
             unsent: VecDeque::new(),
-            inflight: HashMap::new(),
+            inflight: InflightTable::default(),
             inflight_bytes: 0,
-            messages: HashMap::new(),
+            messages: Vec::new(),
             recv_queue: VecDeque::new(),
             stats: ConnStats::default(),
             state: ConnState::Active,
@@ -313,9 +437,10 @@ impl Connection {
         assert!(bytes > 0, "empty message");
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
+        debug_assert_eq!(self.messages.len() as u64, id.0);
         let total_packets = bytes.div_ceil(mtu);
         self.messages
-            .insert(id, MessageState::new(total_packets, bytes, now));
+            .push(MessageState::new(total_packets, bytes, now));
         for idx in 0..total_packets {
             let chunk = if idx == total_packets - 1 {
                 bytes - idx * mtu
@@ -394,16 +519,12 @@ impl Connection {
             self.unsent.is_empty() && self.inflight.is_empty(),
             "replay requires a drained connection"
         );
-        let mut msgs: Vec<MsgId> = self
-            .messages
-            .iter()
-            .filter(|(_, m)| m.completed_at.is_none())
-            .map(|(&id, _)| id)
-            .collect();
-        msgs.sort_unstable();
         let mut queued = 0;
-        for id in msgs {
-            let m = &self.messages[&id];
+        for (idx, m) in self.messages.iter().enumerate() {
+            if m.completed_at.is_some() {
+                continue;
+            }
+            let id = MsgId(idx as u64);
             for idx in 0..m.total_packets {
                 if m.is_received(idx) {
                     continue;
@@ -437,7 +558,7 @@ mod tests {
     fn segmentation_counts_and_tail() {
         let mut c = conn();
         let id = c.post_message(SimTime::ZERO, 10_000, 4096);
-        let m = &c.messages[&id];
+        let m = &c.messages[id.0 as usize];
         assert_eq!(m.total_packets, 3);
         let sizes: Vec<u64> = c.unsent.iter().map(|p| p.bytes).collect();
         assert_eq!(sizes, vec![4096, 4096, 1808]);
@@ -447,7 +568,7 @@ mod tests {
     fn single_packet_message() {
         let mut c = conn();
         let id = c.post_message(SimTime::ZERO, 8, 4096);
-        assert_eq!(c.messages[&id].total_packets, 1);
+        assert_eq!(c.messages[id.0 as usize].total_packets, 1);
         assert_eq!(c.unsent[0].bytes, 8);
     }
 
@@ -578,7 +699,7 @@ mod tests {
         let mut c = conn();
         let id = c.post_message(SimTime::ZERO, 10_000, 4096); // 3 packets
         c.unsent.clear(); // simulate all packets in flight, then drained
-        c.messages.get_mut(&id).unwrap().place_packet(1);
+        c.messages.get_mut(id.0 as usize).unwrap().place_packet(1);
         let queued = c.replay_unacked(4096);
         assert_eq!(queued, 2);
         let idxs: Vec<u64> = c.unsent.iter().map(|p| p.idx).collect();
@@ -587,7 +708,7 @@ mod tests {
         let sizes: Vec<u64> = c.unsent.iter().map(|p| p.bytes).collect();
         assert_eq!(sizes, vec![4096, 1808]);
         // A completed message is never replayed.
-        let m = c.messages.get_mut(&id).unwrap();
+        let m = c.messages.get_mut(id.0 as usize).unwrap();
         m.place_packet(0);
         m.place_packet(2);
         m.completed_at = Some(SimTime::ZERO);

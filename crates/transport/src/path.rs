@@ -157,6 +157,9 @@ pub struct PathSelector {
     /// Latest quarantine deadline ever set — same fast-path trick as
     /// `max_blacklist_until`, so healthy runs never scan the planes.
     max_quarantine_until: SimTime,
+    /// Scratch for DWRR's per-call weight vector (the select path must
+    /// not allocate per packet).
+    dwrr_weights: Vec<f64>,
 }
 
 impl PathSelector {
@@ -180,6 +183,7 @@ impl PathSelector {
             },
             plane_quarantine_until: Vec::new(),
             max_quarantine_until: SimTime::ZERO,
+            dwrr_weights: Vec::new(),
         }
     }
 
@@ -274,10 +278,10 @@ impl PathSelector {
     /// `allowed` further constrains the choice (per-path CC windows).
     ///
     /// Returns `None` if no path satisfies the constraints.
-    pub fn select(
+    pub fn select<F: Fn(u32) -> bool>(
         &mut self,
         exclude: Option<u32>,
-        allowed: &dyn Fn(u32) -> bool,
+        allowed: &F,
     ) -> Option<u32> {
         self.select_at(SimTime::ZERO, exclude, allowed)
     }
@@ -291,11 +295,11 @@ impl PathSelector {
     /// blacklist is ignored rather than stalling the connection — a
     /// wrong path beats no path, since there is no wake-up event for a
     /// blacklist expiring.
-    pub fn select_at(
+    pub fn select_at<F: Fn(u32) -> bool>(
         &mut self,
         now: SimTime,
         exclude: Option<u32>,
-        allowed: &dyn Fn(u32) -> bool,
+        allowed: &F,
     ) -> Option<u32> {
         // Healthy fast path: no active blacklist or quarantine, no extra
         // RNG draws — keeps fault-free runs byte-identical to the
@@ -327,11 +331,11 @@ impl PathSelector {
         self.select_inner(now, exclude, allowed)
     }
 
-    fn select_inner(
+    fn select_inner<F: Fn(u32) -> bool>(
         &mut self,
         now: SimTime,
         exclude: Option<u32>,
-        allowed: &dyn Fn(u32) -> bool,
+        allowed: &F,
     ) -> Option<u32> {
         let n = self.paths.len() as u32;
         let ok = |p: u32| -> bool { Some(p) != exclude && allowed(p) };
@@ -455,7 +459,11 @@ impl PathSelector {
         choice
     }
 
-    fn select_dwrr(&mut self, exclude: Option<u32>, allowed: &dyn Fn(u32) -> bool) -> Option<u32> {
+    fn select_dwrr<F: Fn(u32) -> bool>(
+        &mut self,
+        exclude: Option<u32>,
+        allowed: &F,
+    ) -> Option<u32> {
         let n = self.paths.len() as u32;
         let ok = |p: u32| -> bool { Some(p) != exclude && allowed(p) };
         if !(0..n).any(ok) {
@@ -463,20 +471,19 @@ impl PathSelector {
         }
         // Weight ∝ 1/RTT (unprobed paths get the best weight so they are
         // explored); accumulate deficits until a permitted path qualifies.
-        let weights: Vec<f64> = self
-            .paths
-            .iter()
-            .map(|p| {
-                let rtt = p.rtt_ewma.as_nanos();
-                if rtt == 0 {
-                    1.0
-                } else {
-                    1.0e4 / rtt as f64
-                }
-            })
-            .collect();
+        let mut weights = std::mem::take(&mut self.dwrr_weights);
+        weights.clear();
+        weights.extend(self.paths.iter().map(|p| {
+            let rtt = p.rtt_ewma.as_nanos();
+            if rtt == 0 {
+                1.0
+            } else {
+                1.0e4 / rtt as f64
+            }
+        }));
         let wmax = weights.iter().copied().fold(f64::MIN, f64::max);
-        for _round in 0..64 {
+        let mut choice = None;
+        'rounds: for _round in 0..64 {
             for i in 0..n {
                 let p = (self.rr_cursor + i) % n;
                 let st = &mut self.paths[p as usize];
@@ -484,12 +491,14 @@ impl PathSelector {
                 if ok(p) && st.dwrr_deficit >= 1.0 {
                     st.dwrr_deficit -= 1.0;
                     self.rr_cursor = p + 1;
-                    return Some(p);
+                    choice = Some(p);
+                    break 'rounds;
                 }
             }
         }
+        self.dwrr_weights = weights;
         // Deficits tilted heavily to a blocked path: fall back linearly.
-        (0..n).find(|&p| ok(p))
+        choice.or_else(|| (0..n).find(|&p| ok(p)))
     }
 
     /// Feed back an ACK observation for `path`.

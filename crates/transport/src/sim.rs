@@ -230,6 +230,9 @@ struct ConnRuntime {
     pace_until: SimTime,
     /// Whether a Pace wake-up is already queued.
     pace_scheduled: bool,
+    /// Scratch for the per-path inflight snapshot `pump` hands the
+    /// selector (reused so the per-packet send path never allocates).
+    inflight_scratch: Vec<u64>,
 }
 
 /// The transport simulation: fabric + connections + event queue.
@@ -248,6 +251,9 @@ pub struct TransportSim<F: Fabric = Network> {
     errors: Vec<(ConnId, FatalError)>,
     recovered: Vec<(ConnId, SimDuration)>,
     rng: SimRng,
+    /// Reusable buffer for the batched same-timestamp drain in
+    /// [`TransportSim::run`] (kept across calls to avoid reallocation).
+    batch_buf: Vec<Ev>,
 }
 
 impl<F: Fabric> TransportSim<F> {
@@ -265,6 +271,7 @@ impl<F: Fabric> TransportSim<F> {
             errors: Vec::new(),
             recovered: Vec::new(),
             rng,
+            batch_buf: Vec::new(),
         }
     }
 
@@ -346,6 +353,7 @@ impl<F: Fabric> TransportSim<F> {
             ack_delay,
             pace_until: SimTime::ZERO,
             pace_scheduled: false,
+            inflight_scratch: Vec::new(),
         });
         id
     }
@@ -449,7 +457,7 @@ impl<F: Fabric> TransportSim<F> {
     /// on `conn`, in nanoseconds. Only completed messages contribute.
     pub fn message_latency_histogram(&self, conn: ConnId) -> stellar_sim::stats::Histogram {
         let mut h = stellar_sim::stats::Histogram::new();
-        for m in self.conns[conn.0 as usize].conn.messages.values() {
+        for m in &self.conns[conn.0 as usize].conn.messages {
             if let Some(done) = m.completed_at {
                 h.record_duration(done.duration_since(m.posted_at));
             }
@@ -462,7 +470,7 @@ impl<F: Fabric> TransportSim<F> {
         self.conns[conn.0 as usize]
             .conn
             .messages
-            .get(&msg)
+            .get(msg.0 as usize)
             .and_then(|m| m.completed_at)
     }
 
@@ -641,15 +649,21 @@ impl<F: Fabric> TransportSim<F> {
             }
             // Path choice, gated per path when each path has its own CCC.
             let path = {
-                let ConnRuntime { selector, ccs, .. } = rt;
-                // Snapshot per-path inflight before the mutable select call.
-                let inflight_pkts: Vec<u64> = if per_path {
-                    (0..selector.num_paths())
-                        .map(|p| selector.path(p).inflight_packets)
-                        .collect()
-                } else {
-                    Vec::new()
-                };
+                let ConnRuntime {
+                    selector,
+                    ccs,
+                    inflight_scratch,
+                    ..
+                } = rt;
+                // Snapshot per-path inflight before the mutable select call
+                // (reused scratch: the per-packet send path must not
+                // allocate).
+                inflight_scratch.clear();
+                if per_path {
+                    inflight_scratch
+                        .extend((0..selector.num_paths()).map(|p| selector.path(p).inflight_packets));
+                }
+                let inflight_pkts: &[u64] = inflight_scratch;
                 let allowed = |p: u32| -> bool {
                     if !per_path {
                         return true;
@@ -711,14 +725,14 @@ impl<F: Fabric> TransportSim<F> {
     fn handle_deliver(&mut self, conn_id: ConnId, seq: u64, ecn: bool) {
         let now = self.now();
         let rt = &mut self.conns[conn_id.0 as usize];
-        let Some(&pkt) = rt.conn.inflight.get(&seq) else {
+        let Some(&pkt) = rt.conn.inflight.get(seq) else {
             // Already ACKed via a retransmitted copy; stale delivery.
             return;
         };
         let msg = rt
             .conn
             .messages
-            .get_mut(&pkt.msg)
+            .get_mut(pkt.msg.0 as usize)
             .expect("inflight packet references a live message");
         if msg.place_packet(pkt.idx) {
             rt.conn.stats.delivered_packets += 1;
@@ -749,7 +763,7 @@ impl<F: Fabric> TransportSim<F> {
         let (path, rtt, bytes);
         {
             let rt = &mut self.conns[conn_id.0 as usize];
-            let Some(pkt) = rt.conn.inflight.remove(&seq) else {
+            let Some(pkt) = rt.conn.inflight.remove(seq) else {
                 return; // duplicate ACK (original + retransmission)
             };
             rt.conn.inflight_bytes -= pkt.bytes;
@@ -765,7 +779,7 @@ impl<F: Fabric> TransportSim<F> {
             if ecn {
                 rt.conn.stats.ecn_acks += 1;
             }
-            if let Some(m) = rt.conn.messages.get_mut(&pkt.msg) {
+            if let Some(m) = rt.conn.messages.get_mut(pkt.msg.0 as usize) {
                 m.acked_packets += 1;
             }
             rt.selector.on_ack(path, rtt, ecn);
@@ -781,7 +795,7 @@ impl<F: Fabric> TransportSim<F> {
         let (old_path, new_path, bytes, src, dst);
         {
             let rt = &mut self.conns[conn_id.0 as usize];
-            let Some(pkt) = rt.conn.inflight.get(&seq) else {
+            let Some(pkt) = rt.conn.inflight.get(seq) else {
                 return; // ACKed in the meantime (or the connection died)
             };
             if pkt.retx != epoch {
@@ -812,7 +826,7 @@ impl<F: Fabric> TransportSim<F> {
                 .selector
                 .select_at(now, Some(old_path), &|_| true)
                 .unwrap_or(old_path);
-            let pkt = rt.conn.inflight.get_mut(&seq).unwrap();
+            let pkt = rt.conn.inflight.get_mut(seq).unwrap();
             pkt.retx += 1;
             pkt.sent_at = now;
             pkt.path = new_path;
@@ -874,33 +888,49 @@ impl<F: Fabric> TransportSim<F> {
     /// Process events until the queue drains or the next event is past
     /// `until`. Completion callbacks run in causal order.
     pub fn run<A: App<F>>(&mut self, app: &mut A, until: SimTime) {
+        // Batched same-timestamp drain: the wheel hands over every event at
+        // the next timestamp in one call, so the hot loop runs one
+        // peek/advance per *timestamp* instead of per event. Handlers that
+        // schedule new events at the drained timestamp (zero-latency hops)
+        // produce a fresh batch on the next iteration, with higher FIFO
+        // seqs — exactly the order per-event pops would have delivered.
+        let mut batch = std::mem::take(&mut self.batch_buf);
         loop {
             match self.queue.peek_time() {
                 Some(t) if t <= until => {}
                 _ => break,
             }
-            let (_, ev) = self.queue.pop().expect("peeked event exists");
-            match ev {
-                Ev::Deliver { conn, seq, ecn } => self.handle_deliver(conn, seq, ecn),
-                Ev::Ack { conn, seq, ecn } => self.handle_ack(conn, seq, ecn),
-                Ev::Rto { conn, seq, epoch } => self.handle_rto(conn, seq, epoch),
-                Ev::Pace { conn } => {
-                    self.conns[conn.0 as usize].pace_scheduled = false;
-                    self.pump(conn);
+            batch.clear();
+            self.queue
+                .pop_batch(&mut batch)
+                .expect("peeked event exists");
+            for ev in batch.drain(..) {
+                match ev {
+                    Ev::Deliver { conn, seq, ecn } => self.handle_deliver(conn, seq, ecn),
+                    Ev::Ack { conn, seq, ecn } => self.handle_ack(conn, seq, ecn),
+                    Ev::Rto { conn, seq, epoch } => self.handle_rto(conn, seq, epoch),
+                    Ev::Pace { conn } => {
+                        self.conns[conn.0 as usize].pace_scheduled = false;
+                        self.pump(conn);
+                    }
+                    Ev::AppTimer { token } => app.on_timer(self, token),
+                    Ev::Reconnect { conn } => self.handle_reconnect(conn),
                 }
-                Ev::AppTimer { token } => app.on_timer(self, token),
-                Ev::Reconnect { conn } => self.handle_reconnect(conn),
-            }
-            while let Some((c, m)) = pop_front(&mut self.completions) {
-                app.on_message_complete(self, c, m);
-            }
-            while let Some((c, e)) = pop_front(&mut self.errors) {
-                app.on_connection_error(self, c, e);
-            }
-            while let Some((c, d)) = pop_front(&mut self.recovered) {
-                app.on_connection_recovered(self, c, d);
+                // Callbacks run after every event, exactly as the
+                // unbatched loop did — batching may never reorder an
+                // event relative to the completions it caused.
+                while let Some((c, m)) = pop_front(&mut self.completions) {
+                    app.on_message_complete(self, c, m);
+                }
+                while let Some((c, e)) = pop_front(&mut self.errors) {
+                    app.on_connection_error(self, c, e);
+                }
+                while let Some((c, d)) = pop_front(&mut self.recovered) {
+                    app.on_connection_recovered(self, c, d);
+                }
             }
         }
+        self.batch_buf = batch;
         // Returning from `run` is a quiesce point: nothing is mid-event,
         // so every cross-layer ledger must balance.
         if stellar_check::enabled() {
@@ -961,15 +991,15 @@ impl<F: Fabric> TransportSim<F> {
                 // the completion counter, and — at a drained queue with
                 // the connection alive — nothing may be lost: every
                 // posted message has a full bitmap.
-                let placed: u64 = conn.messages.values().map(|m| m.received_count()).sum();
+                let placed: u64 = conn.messages.iter().map(|m| m.received_count()).sum();
                 let completed = conn
                     .messages
-                    .values()
+                    .iter()
                     .filter(|m| m.completed_at.is_some())
                     .count() as u64;
                 let no_loss = !drained
                     || conn.state != ConnState::Active
-                    || conn.messages.values().all(|m| m.completed_at.is_some());
+                    || conn.messages.iter().all(|m| m.completed_at.is_some());
                 c.check(
                     "transport.recovery_exactly_once",
                     placed == st.delivered_packets
@@ -982,7 +1012,7 @@ impl<F: Fabric> TransportSim<F> {
                             st.delivered_packets,
                             st.completed_messages,
                             conn.messages
-                                .values()
+                                .iter()
                                 .filter(|m| m.completed_at.is_none())
                                 .count()
                         )

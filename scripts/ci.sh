@@ -10,6 +10,19 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace -- -D warnings
 
+# Queue gate, part 1 (DESIGN.md §13): the timing-wheel event queue must
+# stay observably identical to the binary-heap reference. Three layers:
+# the differential property suite (wheel vs heap in lockstep), the
+# mutation drill (a wheel sabotaged with a wrong-tier cascade, a dropped
+# overflow migration, or a LIFO slot drain must *diverge* — proving the
+# differential suite still has teeth), and the golden corpus replayed
+# with `EventQueue` aliased back to the reference heap, so both queue
+# implementations pin the exact same rendered bytes. (The default-build
+# golden runs below cover the wheel side.)
+cargo test -q --offline -p stellar-sim --test queue_diff
+cargo test -q --offline -p stellar-sim --features queue-drill --test queue_drill
+cargo test -q --offline -p stellar-bench --features stellar-sim/reference-queue --test golden
+
 # Chaos suite: multi-fault plans must keep their graceful-degradation
 # verdicts (and the unhardened counterfactual must keep failing).
 cargo run --release --offline -p stellar-bench --bin reproduce -- chaos --quick >/dev/null
@@ -120,7 +133,31 @@ STELLAR_THREADS=8 cargo test -q --offline -p stellar-bench --test golden
 # Perf harness: archive the wall-clock/event report for this build. The
 # run doubles as a third determinism pass (--perf re-runs everything on
 # one worker and fails if any output byte differs, trace documents
-# included).
+# included). The committed report is saved first so the queue gate below
+# can compare against it.
+perf_baseline="$(mktemp)"
+cp BENCH_reproduce.json "$perf_baseline"
 cargo run --release --offline -p stellar-bench --bin reproduce -- all --quick --perf >/dev/null
+
+# Queue gate, part 2 — perf regression: scheduled-event throughput on
+# the two packet-level poles (fig9 permutation, fig16 LLM training) must
+# not collapse back toward the binary-heap era. The floor is half the
+# committed report's events/sec: shared-CI wall clocks are noisy (±30%
+# observed), but the wheel's margin over the heap is >2.5x, so a genuine
+# queue regression still trips this while timer jitter does not.
+python3 - "$perf_baseline" BENCH_reproduce.json <<'PY'
+import json, sys
+base = {s["name"]: s for s in json.load(open(sys.argv[1]))["scenarios"]}
+fresh = {s["name"]: s for s in json.load(open(sys.argv[2]))["scenarios"]}
+failed = False
+for name in ("fig9", "fig16"):
+    b, f = base[name]["events_per_sec"], fresh[name]["events_per_sec"]
+    floor = 0.5 * b
+    status = "ok" if f >= floor else "REGRESSION"
+    print(f"queue perf gate: {name} {f:,.0f} ev/s vs archived {b:,.0f} (floor {floor:,.0f}) {status}")
+    failed |= f < floor
+sys.exit(1 if failed else 0)
+PY
+rm -f "$perf_baseline"
 echo "archived BENCH_reproduce.json:"
 cat BENCH_reproduce.json
